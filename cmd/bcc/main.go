@@ -1,0 +1,298 @@
+// Command bcc drives the bidirectional coded cooperation reproduction: it
+// evaluates the paper's bounds for arbitrary scenarios, regenerates every
+// figure and claim check as ASCII charts/tables (with optional CSV), and
+// runs the Monte Carlo simulators.
+//
+// Usage:
+//
+//	bcc list                            # list reproduction experiments
+//	bcc run <id> [-quick] [-seed N] [-csv]
+//	bcc all [-quick]                    # run every experiment
+//	bcc bounds  [-p dB] [-gab dB] [-gar dB] [-gbr dB]
+//	bcc region  [-proto P] [-bound inner|outer] [-p dB] [...gains] [-csv]
+//	bcc place   [-p dB] [-pos 0..1] [-gamma g]
+//
+// Examples:
+//
+//	bcc run fig3
+//	bcc run fig4b
+//	bcc bounds -p 10
+//	bcc region -proto HBC -bound inner -p 10 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bicoop"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bcc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "list":
+		return cmdList()
+	case "run":
+		return cmdRun(args[1:])
+	case "all":
+		return cmdAll(args[1:])
+	case "bounds":
+		return cmdBounds(args[1:])
+	case "region":
+		return cmdRegion(args[1:])
+	case "place":
+		return cmdPlace(args[1:])
+	case "escape":
+		return cmdEscape(args[1:])
+	case "penalty":
+		return cmdPenalty(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `bcc — bidirectional coded cooperation protocol bounds (Kim/Mitran/Tarokh reproduction)
+
+subcommands:
+  list     list reproduction experiments
+  run      run one experiment:   bcc run fig3 [-quick] [-seed N]
+  all      run every experiment: bcc all [-quick]
+  bounds   per-protocol optimal sum rates for a scenario
+  region   rate-region vertices for one protocol bound
+  place    per-protocol sum rates for a relay placed on the a-b segment
+  escape   achievable HBC points beyond BOTH the MABC and TDBC outer bounds
+  penalty  half-duplex penalty vs the full-duplex DF ceiling, plus AF
+`)
+}
+
+func cmdEscape(args []string) error {
+	fs := flag.NewFlagSet("escape", flag.ContinueOnError)
+	p, gab, gar, gbr := scenarioFlags(fs)
+	limit := fs.Int("n", 10, "max witnesses to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := bicoop.Scenario{PowerDB: *p, GabDB: *gab, GarDB: *gar, GbrDB: *gbr}
+	pts, err := bicoop.HBCBeyondOuterBounds(s)
+	if err != nil {
+		return err
+	}
+	if len(pts) == 0 {
+		fmt.Printf("no HBC escape points at P=%.1f dB with these gains\n", *p)
+		return nil
+	}
+	fmt.Printf("%d achievable HBC points outside BOTH the MABC and TDBC outer bounds (P=%.1f dB):\n", len(pts), *p)
+	for i, pt := range pts {
+		if i >= *limit {
+			fmt.Printf("  ... and %d more\n", len(pts)-*limit)
+			break
+		}
+		fmt.Printf("  (Ra, Rb) = (%.4f, %.4f)\n", pt.Ra, pt.Rb)
+	}
+	return nil
+}
+
+func cmdPenalty(args []string) error {
+	fs := flag.NewFlagSet("penalty", flag.ContinueOnError)
+	p, gab, gar, gbr := scenarioFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := bicoop.Scenario{PowerDB: *p, GabDB: *gab, GarDB: *gar, GbrDB: *gbr}
+	fd, err := bicoop.FullDuplexSumRate(s)
+	if err != nil {
+		return err
+	}
+	af, err := bicoop.AmplifyForwardSumRate(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("full-duplex DF ceiling: %.4f bits/use; AF 2-phase: %.4f bits/use\n\n", fd.Sum, af.Sum)
+	fmt.Printf("%-8s %10s %12s\n", "protocol", "sum rate", "of ceiling")
+	for _, proto := range bicoop.AllProtocols() {
+		res, err := bicoop.OptimalSumRate(proto, bicoop.Inner, s)
+		if err != nil {
+			return err
+		}
+		pen, err := bicoop.HalfDuplexPenalty(proto, s)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %10.4f %11.0f%%\n", proto, res.Sum, 100*pen)
+	}
+	return nil
+}
+
+// scenarioFlags registers the shared scenario flags on fs.
+func scenarioFlags(fs *flag.FlagSet) (p, gab, gar, gbr *float64) {
+	p = fs.Float64("p", 10, "per-node transmit power in dB (unit noise)")
+	gab = fs.Float64("gab", -7, "direct link gain Gab in dB")
+	gar = fs.Float64("gar", 0, "a-relay link gain Gar in dB")
+	gbr = fs.Float64("gbr", 5, "b-relay link gain Gbr in dB")
+	return
+}
+
+func cmdList() error {
+	for _, id := range bicoop.Experiments() {
+		desc, err := bicoop.DescribeExperiment(id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %s\n", id, desc)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced resolution for a fast run")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("run takes an experiment id (see 'bcc list')")
+	}
+	id := fs.Arg(0)
+	// Allow flags after the positional id too: bcc run fig3 -quick.
+	if err := fs.Parse(fs.Args()[1:]); err != nil {
+		return err
+	}
+	return bicoop.RunExperiment(id, *quick, *seed, os.Stdout)
+}
+
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced resolution for a fast run")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, id := range bicoop.Experiments() {
+		if err := bicoop.RunExperiment(id, *quick, *seed, os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdBounds(args []string) error {
+	fs := flag.NewFlagSet("bounds", flag.ContinueOnError)
+	p, gab, gar, gbr := scenarioFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := bicoop.Scenario{PowerDB: *p, GabDB: *gab, GarDB: *gar, GbrDB: *gbr}
+	fmt.Printf("scenario: P=%.1f dB, Gab=%.1f dB, Gar=%.1f dB, Gbr=%.1f dB\n\n", *p, *gab, *gar, *gbr)
+	fmt.Printf("%-8s %-7s %10s %10s %10s   %s\n", "protocol", "bound", "Ra", "Rb", "Ra+Rb", "durations")
+	for _, proto := range bicoop.AllProtocols() {
+		for _, b := range []bicoop.Bound{bicoop.Inner, bicoop.Outer} {
+			res, err := bicoop.OptimalSumRate(proto, b, s)
+			if err != nil {
+				return err
+			}
+			durs := make([]string, len(res.Durations))
+			for i, d := range res.Durations {
+				durs[i] = fmt.Sprintf("%.3f", d)
+			}
+			fmt.Printf("%-8s %-7s %10.4f %10.4f %10.4f   [%s]\n",
+				proto, b, res.Point.Ra, res.Point.Rb, res.Sum, strings.Join(durs, " "))
+		}
+	}
+	fmt.Println("\nnote: DT/Naive4/MABC outer = inner (tight); HBC outer is the independent-input heuristic (see DESIGN.md).")
+	return nil
+}
+
+func cmdRegion(args []string) error {
+	fs := flag.NewFlagSet("region", flag.ContinueOnError)
+	p, gab, gar, gbr := scenarioFlags(fs)
+	protoName := fs.String("proto", "HBC", "protocol: DT, Naive4, MABC, TDBC, HBC")
+	boundName := fs.String("bound", "inner", "bound: inner or outer")
+	csv := fs.Bool("csv", false, "emit the frontier as CSV instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	proto, err := parseProtocol(*protoName)
+	if err != nil {
+		return err
+	}
+	bound := bicoop.Inner
+	switch strings.ToLower(*boundName) {
+	case "inner":
+	case "outer":
+		bound = bicoop.Outer
+	default:
+		return fmt.Errorf("unknown bound %q", *boundName)
+	}
+	s := bicoop.Scenario{PowerDB: *p, GabDB: *gab, GarDB: *gar, GbrDB: *gbr}
+	r, err := bicoop.RateRegion(proto, bound, s)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Println("Ra,Rb")
+		for _, v := range r.Vertices() {
+			fmt.Printf("%g,%g\n", v.Ra, v.Rb)
+		}
+		return nil
+	}
+	fmt.Printf("%v %v region at P=%.1f dB: maxRa=%.4f maxRb=%.4f maxSum=%.4f area=%.4f\n",
+		proto, bound, *p, r.MaxRa(), r.MaxRb(), r.MaxSumRate(), r.Area())
+	fmt.Println("vertices (counter-clockwise):")
+	for _, v := range r.Vertices() {
+		fmt.Printf("  (%.4f, %.4f)\n", v.Ra, v.Rb)
+	}
+	return nil
+}
+
+func cmdPlace(args []string) error {
+	fs := flag.NewFlagSet("place", flag.ContinueOnError)
+	p := fs.Float64("p", 15, "per-node transmit power in dB")
+	pos := fs.Float64("pos", 0.3, "relay position on the a-b segment (0,1)")
+	gamma := fs.Float64("gamma", 3, "path-loss exponent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := bicoop.RelayPlacement{Pos: *pos, Exponent: *gamma}.Scenario(*p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("relay at %.2f (gamma %.1f): Gab=%.2f dB Gar=%.2f dB Gbr=%.2f dB\n\n",
+		*pos, *gamma, s.GabDB, s.GarDB, s.GbrDB)
+	fmt.Printf("%-8s %10s\n", "protocol", "sum rate")
+	for _, proto := range bicoop.AllProtocols() {
+		res, err := bicoop.OptimalSumRate(proto, bicoop.Inner, s)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %10.4f\n", proto, res.Sum)
+	}
+	return nil
+}
+
+func parseProtocol(name string) (bicoop.Protocol, error) {
+	for _, p := range bicoop.AllProtocols() {
+		if strings.EqualFold(p.String(), name) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown protocol %q", name)
+}

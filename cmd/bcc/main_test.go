@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDispatch(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantErr bool
+	}{
+		{name: "no args", args: nil, wantErr: true},
+		{name: "unknown subcommand", args: []string{"frobnicate"}, wantErr: true},
+		{name: "help", args: []string{"help"}, wantErr: false},
+		{name: "list", args: []string{"list"}, wantErr: false},
+		{name: "bounds", args: []string{"bounds", "-p", "5"}, wantErr: false},
+		{name: "region", args: []string{"region", "-proto", "MABC", "-bound", "inner", "-p", "5"}, wantErr: false},
+		{name: "region csv", args: []string{"region", "-proto", "TDBC", "-bound", "outer", "-csv"}, wantErr: false},
+		{name: "region bad proto", args: []string{"region", "-proto", "XYZ"}, wantErr: true},
+		{name: "region bad bound", args: []string{"region", "-bound", "sideways"}, wantErr: true},
+		{name: "place", args: []string{"place", "-pos", "0.3"}, wantErr: false},
+		{name: "place off segment", args: []string{"place", "-pos", "1.5"}, wantErr: true},
+		{name: "escape", args: []string{"escape", "-p", "10", "-n", "2"}, wantErr: false},
+		{name: "penalty", args: []string{"penalty", "-p", "10"}, wantErr: false},
+		{name: "run without id", args: []string{"run"}, wantErr: true},
+		{name: "run unknown id", args: []string{"run", "nonesuch"}, wantErr: true},
+		{name: "run quick experiment", args: []string{"run", "delta-ablation", "-quick"}, wantErr: false},
+		{name: "run flags before id", args: []string{"run", "-quick", "crossover"}, wantErr: false},
+		{name: "bad flag", args: []string{"bounds", "-nonsense"}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args)
+			if tt.wantErr && err == nil {
+				t.Errorf("run(%v) = nil, want error", tt.args)
+			}
+			if !tt.wantErr && err != nil {
+				t.Errorf("run(%v) = %v, want nil", tt.args, err)
+			}
+		})
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{in: "HBC", want: "HBC"},
+		{in: "hbc", want: "HBC"},
+		{in: "Mabc", want: "MABC"},
+		{in: "naive4", want: "Naive4"},
+		{in: "bogus", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			p, err := parseProtocol(tt.in)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.EqualFold(p.String(), tt.want) {
+				t.Errorf("parseProtocol(%q) = %v, want %v", tt.in, p, tt.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,31 @@
+// Package bicoop is a library for analyzing coded bidirectional cooperation
+// ("two-way relaying") protocols over half-duplex channels, reproducing
+//
+//	S.J. Kim, P. Mitran, V. Tarokh,
+//	"Performance Bounds for Bidirectional Coded Cooperation Protocols"
+//	(ICDCS 2007 / IEEE Transactions on Information Theory 54(11), 2008).
+//
+// Two terminals a and b exchange messages with the help of a relay r. The
+// library evaluates achievable-rate (inner) and converse (outer) bounds for
+// the paper's decode-and-forward protocols
+//
+//   - DT: direct transmission, no relay;
+//   - Naive4: four-phase store-and-forward relaying, no network coding;
+//   - MABC: two-phase multiple-access broadcast (Theorem 2, tight);
+//   - TDBC: three-phase time-division broadcast (Theorems 3-4);
+//   - HBC: four-phase hybrid broadcast (Theorems 5-6);
+//
+// on the Gaussian channel with path loss (Section IV), optimizes phase
+// durations by linear programming, computes full rate regions, verifies the
+// paper's findings (MABC/TDBC SNR crossover; achievable HBC points beyond
+// both outer bounds), and provides Monte Carlo simulators: Rayleigh
+// block-fading outage and a bit-true TDBC implementation over erasure
+// networks using random linear codes and XOR network coding.
+//
+// The API in this package is a stable facade; the machinery lives under
+// internal/ (see DESIGN.md for the system inventory). Quickstart:
+//
+//	s := bicoop.Scenario{PowerDB: 10, GabDB: -7, GarDB: 0, GbrDB: 5}
+//	res, err := bicoop.OptimalSumRate(bicoop.HBC, bicoop.Inner, s)
+//	// res.Sum is the LP-optimal Ra+Rb; res.Durations the phase split.
+package bicoop

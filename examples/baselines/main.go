@@ -1,0 +1,70 @@
+// Baselines study: how do the paper's decode-and-forward protocols compare
+// against the schemes they are positioned against?
+//
+// Two baselines frame the paper's contribution:
+//   - the two-phase amplify-and-forward scheme of its references [7],[8]
+//     ("analog network coding": the relay never decodes, it just scales and
+//     retransmits the superimposed signal);
+//   - the full-duplex decode-and-forward bound of reference [9] — the
+//     ceiling that the half-duplex constraint keeps out of reach.
+//
+// We sweep transmit power at the paper's Fig 4 gains and report, per power:
+// every DF protocol's sum rate, the AF sum rate, the full-duplex ceiling,
+// and the fraction of the ceiling the best half-duplex protocol retains.
+//
+// Run with: go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bicoop"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("baselines: ")
+
+	fmt.Println("gains: Gab = -7 dB, Gar = 0 dB, Gbr = 5 dB (the paper's Fig 4 point)")
+	fmt.Printf("\n%-7s %8s %8s %8s %8s %8s %12s %10s\n",
+		"P (dB)", "DT", "MABC", "TDBC", "HBC", "AF", "full-duplex", "HBC/FD")
+
+	for _, pdb := range []float64{-5, 0, 5, 10, 15, 20} {
+		s := bicoop.Scenario{PowerDB: pdb, GabDB: -7, GarDB: 0, GbrDB: 5}
+		sums := make(map[bicoop.Protocol]float64, 4)
+		for _, p := range []bicoop.Protocol{bicoop.DT, bicoop.MABC, bicoop.TDBC, bicoop.HBC} {
+			res, err := bicoop.OptimalSumRate(p, bicoop.Inner, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sums[p] = res.Sum
+		}
+		af, err := bicoop.AmplifyForwardSumRate(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fd, err := bicoop.FullDuplexSumRate(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pen, err := bicoop.HalfDuplexPenalty(bicoop.HBC, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7.0f %8.4f %8.4f %8.4f %8.4f %8.4f %12.4f %9.0f%%\n",
+			pdb, sums[bicoop.DT], sums[bicoop.MABC], sums[bicoop.TDBC], sums[bicoop.HBC],
+			af.Sum, fd.Sum, 100*pen)
+	}
+
+	fmt.Println(`
+reading the table:
+  - DF beats AF across this sweep: amplifying the superimposed signal also
+    amplifies relay noise, which the paper's decode-and-forward protocols
+    avoid by decoding before re-encoding;
+  - the full-duplex column is what reference [9] promises if nodes could
+    transmit and receive simultaneously; the HBC/FD column is the price of
+    the half-duplex constraint the paper's protocols are designed around;
+  - the best half-duplex protocol keeps roughly half to two-thirds of the
+    full-duplex sum rate at these gains.`)
+}

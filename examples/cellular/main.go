@@ -1,0 +1,89 @@
+// Cellular relay placement: where should an operator put a relay station?
+//
+// This is the paper's motivating scenario (Section I): terminal a is a
+// mobile user, terminal b a base station, and a relay station r assists the
+// bidirectional exchange. The relay sits on the line between them; link
+// gains follow a path-loss law G = d^-gamma. For each candidate position we
+// evaluate every protocol's optimal sum rate and report (i) the best
+// placement per protocol, (ii) the placements where the four-phase HBC
+// protocol strictly beats both of its special cases, and (iii) how the
+// answer changes between a suburban (gamma = 3) and dense-urban (gamma = 4)
+// deployment.
+//
+// Run with: go run ./examples/cellular
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"bicoop"
+)
+
+const powerDB = 15 // per-node transmit power over unit noise, dB
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cellular: ")
+
+	for _, gamma := range []float64{3, 4} {
+		fmt.Printf("=== path-loss exponent gamma = %.0f, P = %d dB ===\n", gamma, powerDB)
+		study(gamma)
+		fmt.Println()
+	}
+}
+
+func study(gamma float64) {
+	protos := bicoop.AllProtocols()
+	bestRate := make(map[bicoop.Protocol]float64, len(protos))
+	bestPos := make(map[bicoop.Protocol]float64, len(protos))
+	var hbcWindow []float64
+
+	fmt.Printf("%-6s", "pos")
+	for _, p := range protos {
+		fmt.Printf(" %8s", p)
+	}
+	fmt.Println("   HBC advantage")
+
+	for pos := 0.10; pos < 0.91; pos += 0.05 {
+		s, err := bicoop.RelayPlacement{Pos: pos, Exponent: gamma}.Scenario(powerDB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rates := make(map[bicoop.Protocol]float64, len(protos))
+		fmt.Printf("%-6.2f", pos)
+		for _, p := range protos {
+			res, err := bicoop.OptimalSumRate(p, bicoop.Inner, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rates[p] = res.Sum
+			if res.Sum > bestRate[p] {
+				bestRate[p], bestPos[p] = res.Sum, pos
+			}
+			fmt.Printf(" %8.4f", res.Sum)
+		}
+		adv := rates[bicoop.HBC] - math.Max(rates[bicoop.MABC], rates[bicoop.TDBC])
+		if adv > 1e-4 {
+			hbcWindow = append(hbcWindow, pos)
+			fmt.Printf("   +%.4f", adv)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nbest placement per protocol:")
+	for _, p := range protos {
+		fmt.Printf("  %-7s sum rate %.4f at position %.2f\n", p, bestRate[p], bestPos[p])
+	}
+	if len(hbcWindow) > 0 {
+		poss := make([]string, len(hbcWindow))
+		for i, w := range hbcWindow {
+			poss[i] = fmt.Sprintf("%.2f", w)
+		}
+		fmt.Printf("HBC strictly beats both MABC and TDBC at positions %v —\n", poss)
+		fmt.Println("  the hybrid protocol matters exactly where the relay is moderately off-center.")
+	} else {
+		fmt.Println("HBC never strictly beat both special cases on this grid (window is narrow; try a finer grid).")
+	}
+}

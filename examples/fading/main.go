@@ -1,0 +1,61 @@
+// Fading outage study: how do the protocols behave when the links fade?
+//
+// The paper's gains combine quasi-static fading and path loss. Here each
+// block draws independent Rayleigh fades around the Fig 4 mean gains; a
+// CSI-adaptive system re-optimizes its phase durations every block. We
+// report, per protocol and power: the fading-averaged optimal sum rate
+// (against the fixed-gain value, showing the Jensen penalty) and the
+// probability that a fixed symmetric target rate is in outage.
+//
+// Run with: go run ./examples/fading
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bicoop"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fading: ")
+
+	const trials = 3000
+	target := bicoop.RatePoint{Ra: 0.5, Rb: 0.5}
+	protos := []bicoop.Protocol{bicoop.MABC, bicoop.TDBC, bicoop.HBC}
+
+	fmt.Printf("Rayleigh block fading around Gab=-7dB, Gar=0dB, Gbr=5dB; %d blocks/point\n", trials)
+	fmt.Printf("outage target: (Ra, Rb) = (%.1f, %.1f) bits/use\n\n", target.Ra, target.Rb)
+	fmt.Printf("%-7s %-9s %-12s %-12s %-10s\n", "P (dB)", "protocol", "fixed-gain", "fading mean", "outage")
+
+	for _, pdb := range []float64{0, 5, 10} {
+		s := bicoop.Scenario{PowerDB: pdb, GabDB: -7, GarDB: 0, GbrDB: 5}
+		stats, err := bicoop.SimulateFading(bicoop.FadingConfig{
+			Scenario:  s,
+			Protocols: protos,
+			Target:    target,
+			Trials:    trials,
+			Seed:      2026,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range protos {
+			fixed, err := bicoop.OptimalSumRate(p, bicoop.Inner, s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			st := stats[p]
+			fmt.Printf("%-7.0f %-9s %-12.4f %-12.4f %-10.4f\n",
+				pdb, p, fixed.Sum, st.MeanOptSumRate, st.OutageProb)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("observations:")
+	fmt.Println("  - HBC dominates its special cases block-by-block, so its fading mean and")
+	fmt.Println("    outage are never worse than MABC's or TDBC's;")
+	fmt.Println("  - fading means sit below the fixed-gain values: log2(1+x) is concave, so")
+	fmt.Println("    Rayleigh power fluctuations cost average rate (Jensen penalty).")
+}

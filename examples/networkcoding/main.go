@@ -1,0 +1,73 @@
+// Network-coding demo: watch Theorem 3's achievability machinery actually
+// decode bits.
+//
+// The TDBC protocol is executed bit by bit over a three-link erasure
+// network: both terminals broadcast random-linear-code parities of their
+// messages (the relay and the opposite terminal each keep what survives
+// their link's erasures), the relay decodes both messages and broadcasts
+// parities of the XOR combination, and each terminal pools its overheard
+// side information with the XOR parities and solves the resulting GF(2)
+// system. Sweeping the message rate across the Theorem 3 boundary exhibits
+// the waterfall the random-coding argument predicts: reliable below the
+// bound, hopeless above it.
+//
+// Run with: go run ./examples/networkcoding
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bicoop"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("networkcoding: ")
+
+	links := bicoop.ErasureLinks{EpsAR: 0.2, EpsBR: 0.1, EpsAB: 0.6}
+	fmt.Printf("erasure links: a-r %.0f%%, b-r %.0f%%, a-b %.0f%% loss\n",
+		100*links.EpsAR, 100*links.EpsBR, 100*links.EpsAB)
+
+	// Theorem 3 for erasure links (capacity 1-eps per use):
+	//   Ra <= min(D1(1-eAR), D1(1-eAB) + D3(1-eBR))
+	//   Rb <= min(D2(1-eBR), D2(1-eAB) + D3(1-eAR)).
+	// Place the sweep relative to the exact LP-optimal boundary point.
+	opt, err := bicoop.OptimalTDBCErasureRates(links)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := opt.Point
+	fmt.Printf("Theorem 3 boundary point: (Ra, Rb) = (%.4f, %.4f), sum %.4f bits/use\n\n",
+		base.Ra, base.Rb, opt.Sum)
+
+	const (
+		blockLength = 4000
+		trials      = 25
+	)
+	fmt.Printf("%-11s %-14s %-12s %-15s\n", "rate scale", "success prob", "relay fails", "terminal fails")
+	for _, scale := range []float64{0.70, 0.85, 0.95, 1.05, 1.15, 1.30} {
+		res, err := bicoop.SimulateBitTrueTDBC(bicoop.BitTrueTDBCConfig{
+			Links:       links,
+			Rates:       bicoop.RatePoint{Ra: base.Ra * scale, Rb: base.Rb * scale},
+			Durations:   opt.Durations, // pin, so above-bound points run (and fail)
+			BlockLength: blockLength,
+			Trials:      trials,
+			Seed:        7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11.2f %-14.3f %-12d %-15d\n",
+			scale, res.SuccessProb, res.RelayFailures, res.TerminalFailures)
+	}
+
+	fmt.Println("\nwhat happened mechanically:")
+	fmt.Println("  - below the bound every GF(2) system a node assembles is full rank w.h.p.:")
+	fmt.Println("    enough parities survive each link for unique decoding;")
+	fmt.Println("  - above the bound some node is short of equations (relay first, then the")
+	fmt.Println("    terminals), decoding is underdetermined, and the block fails;")
+	fmt.Println("  - the XOR broadcast carries BOTH messages in max(ka, kb) bits — the relay")
+	fmt.Println("    never needs to send the two messages separately. That is the network-")
+	fmt.Println("    coding advantage the paper builds on.")
+}

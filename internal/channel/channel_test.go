@@ -1,0 +1,294 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bicoop/internal/xmath"
+)
+
+func TestGainsFromDB(t *testing.T) {
+	g := GainsFromDB(0, 5, -7)
+	if !xmath.ApproxEqual(g.AB, 1, 1e-12) {
+		t.Errorf("AB = %v, want 1", g.AB)
+	}
+	if !xmath.ApproxEqual(g.AR, math.Pow(10, 0.5), 1e-12) {
+		t.Errorf("AR = %v, want 10^0.5", g.AR)
+	}
+	if !xmath.ApproxEqual(g.BR, math.Pow(10, -0.7), 1e-12) {
+		t.Errorf("BR = %v, want 10^-0.7", g.BR)
+	}
+}
+
+func TestGainsValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		g    Gains
+		ok   bool
+	}{
+		{name: "good", g: Gains{AB: 1, AR: 2, BR: 3}, ok: true},
+		{name: "zero", g: Gains{AB: 0, AR: 1, BR: 1}, ok: false},
+		{name: "negative", g: Gains{AB: 1, AR: -1, BR: 1}, ok: false},
+		{name: "inf", g: Gains{AB: 1, AR: math.Inf(1), BR: 1}, ok: false},
+		{name: "nan", g: Gains{AB: 1, AR: 1, BR: math.NaN()}, ok: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.g.Validate()
+			if tt.ok && err != nil {
+				t.Errorf("Validate = %v, want nil", err)
+			}
+			if !tt.ok && err == nil {
+				t.Error("Validate = nil, want error")
+			}
+		})
+	}
+}
+
+func TestGainsSwap(t *testing.T) {
+	g := Gains{AB: 1, AR: 2, BR: 3}
+	s := g.Swap()
+	if s.AB != 1 || s.AR != 3 || s.BR != 2 {
+		t.Errorf("Swap = %+v", s)
+	}
+	if s.Swap() != g {
+		t.Error("double swap is not identity")
+	}
+}
+
+func TestLineGeometry(t *testing.T) {
+	t.Run("midpoint symmetric", func(t *testing.T) {
+		g, err := LineGeometry{RelayPos: 0.5, Exponent: 3}.Gains()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmath.ApproxEqual(g.AR, g.BR, 1e-12) {
+			t.Errorf("midpoint gains not symmetric: %v vs %v", g.AR, g.BR)
+		}
+		if !xmath.ApproxEqual(g.AR, 8, 1e-9) {
+			t.Errorf("AR = %v, want 0.5^-3 = 8", g.AR)
+		}
+		if !xmath.ApproxEqual(g.AB, 1, 1e-12) {
+			t.Errorf("AB = %v, want 1 (0 dB)", g.AB)
+		}
+	})
+	t.Run("near a", func(t *testing.T) {
+		g, err := LineGeometry{RelayPos: 0.2, Exponent: 3}.Gains()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.AR <= g.BR {
+			t.Errorf("relay near a must hear a better: AR=%v BR=%v", g.AR, g.BR)
+		}
+		// The paper's standing assumption Gab <= Gar, Gbr holds for any
+		// interior relay position.
+		if g.AB > g.AR || g.AB > g.BR {
+			t.Errorf("direct gain should be weakest: %+v", g)
+		}
+	})
+	t.Run("swap symmetry", func(t *testing.T) {
+		g1, err := LineGeometry{RelayPos: 0.3, Exponent: 3}.Gains()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := LineGeometry{RelayPos: 0.7, Exponent: 3}.Gains()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmath.ApproxEqual(g1.AR, g2.BR, 1e-9) || !xmath.ApproxEqual(g1.BR, g2.AR, 1e-9) {
+			t.Error("mirrored positions should swap gains")
+		}
+	})
+	t.Run("defaults", func(t *testing.T) {
+		g, err := LineGeometry{RelayPos: 0.5}.Gains() // gamma defaults to 3
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmath.ApproxEqual(g.AR, 8, 1e-9) {
+			t.Errorf("default exponent not 3: AR = %v", g.AR)
+		}
+	})
+	t.Run("reference gain", func(t *testing.T) {
+		g, err := LineGeometry{RelayPos: 0.5, Exponent: 2, RefGainAB: 4}.Gains()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmath.ApproxEqual(g.AB, 4, 1e-12) || !xmath.ApproxEqual(g.AR, 16, 1e-9) {
+			t.Errorf("RefGain scaling wrong: %+v", g)
+		}
+	})
+	t.Run("invalid positions", func(t *testing.T) {
+		for _, pos := range []float64{0, 1, -0.5, 1.5} {
+			if _, err := (LineGeometry{RelayPos: pos}).Gains(); err == nil {
+				t.Errorf("position %v should error", pos)
+			}
+		}
+	})
+}
+
+func TestLinkRate(t *testing.T) {
+	if got := LinkRate(1, 1); !xmath.ApproxEqual(got, 1, 1e-12) {
+		t.Errorf("LinkRate(1,1) = %v, want 1", got)
+	}
+	if got := LinkRate(3, 1); !xmath.ApproxEqual(got, 2, 1e-12) {
+		t.Errorf("LinkRate(3,1) = %v, want 2", got)
+	}
+}
+
+func TestMACProperties(t *testing.T) {
+	p := 10.0
+	g := Gains{AB: 0.2, AR: 1, BR: 3.16}
+	m := MAC(p, g)
+	// Sum constraint is at most the sum of individual rates and at least
+	// their max.
+	if m.Sum > m.A+m.B+1e-12 {
+		t.Errorf("MAC sum %v exceeds A+B = %v", m.Sum, m.A+m.B)
+	}
+	if m.Sum < math.Max(m.A, m.B)-1e-12 {
+		t.Errorf("MAC sum %v below max individual %v", m.Sum, math.Max(m.A, m.B))
+	}
+	if !xmath.ApproxEqual(m.A, xmath.C(p*g.AR), 1e-12) {
+		t.Errorf("A rate mismatch")
+	}
+}
+
+func TestSIMORate(t *testing.T) {
+	// SIMO combining beats each individual link but not their rate sum.
+	p, g1, g2 := 2.0, 1.0, 0.5
+	s := SIMORate(p, g1, g2)
+	if s < xmath.C(p*g1) || s < xmath.C(p*g2) {
+		t.Error("SIMO below single link")
+	}
+	if s > xmath.C(p*g1)+xmath.C(p*g2) {
+		t.Error("SIMO above rate sum")
+	}
+}
+
+func TestFading(t *testing.T) {
+	mean := Gains{AB: 1, AR: 2, BR: 0.5}
+	f, err := NewFading(mean, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Mean() != mean {
+		t.Error("Mean() mismatch")
+	}
+	const n = 200000
+	var sumAB, sumAR, sumBR float64
+	for i := 0; i < n; i++ {
+		g := f.Draw()
+		if g.AB < 0 || g.AR < 0 || g.BR < 0 {
+			t.Fatal("negative instantaneous gain")
+		}
+		sumAB += g.AB
+		sumAR += g.AR
+		sumBR += g.BR
+	}
+	// Rayleigh power has mean 1, so empirical means approach configured.
+	if math.Abs(sumAB/n-1) > 0.02 {
+		t.Errorf("mean AB = %v, want 1", sumAB/n)
+	}
+	if math.Abs(sumAR/n-2) > 0.04 {
+		t.Errorf("mean AR = %v, want 2", sumAR/n)
+	}
+	if math.Abs(sumBR/n-0.5) > 0.01 {
+		t.Errorf("mean BR = %v, want 0.5", sumBR/n)
+	}
+}
+
+func TestNewFadingErrors(t *testing.T) {
+	if _, err := NewFading(Gains{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid gains should error")
+	}
+	if _, err := NewFading(Gains{AB: 1, AR: 1, BR: 1}, nil); err == nil {
+		t.Error("nil RNG should error")
+	}
+}
+
+func TestComplexGainMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	meanG := 2.5
+	var power float64
+	for i := 0; i < n; i++ {
+		h := ComplexGain(meanG, rng)
+		power += real(h)*real(h) + imag(h)*imag(h)
+	}
+	if got := power / n; math.Abs(got-meanG) > 0.05 {
+		t.Errorf("mean |h|^2 = %v, want %v", got, meanG)
+	}
+}
+
+func TestAWGNMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 200000
+	var power, re float64
+	for i := 0; i < n; i++ {
+		z := AWGN(rng)
+		power += real(z)*real(z) + imag(z)*imag(z)
+		re += real(z)
+	}
+	if got := power / n; math.Abs(got-1) > 0.02 {
+		t.Errorf("noise power = %v, want 1", got)
+	}
+	if got := re / n; math.Abs(got) > 0.01 {
+		t.Errorf("noise mean = %v, want 0", got)
+	}
+}
+
+func TestReceivedSignalSNR(t *testing.T) {
+	// Empirical SNR through ReceivedSignal should match |g|^2·P.
+	rng := rand.New(rand.NewSource(9))
+	g := complex(1.2, -0.9) // |g|^2 = 2.25
+	const n = 100000
+	var sigPow, noisePow float64
+	for i := 0; i < n; i++ {
+		x := ComplexGain(4, rng) // unit-mean-4 power symbol
+		y := ReceivedSignal(g, x, rng)
+		sig := g * x
+		noise := y - sig
+		sigPow += real(sig)*real(sig) + imag(sig)*imag(sig)
+		noisePow += real(noise)*real(noise) + imag(noise)*imag(noise)
+	}
+	snr := sigPow / noisePow
+	want := 2.25 * 4
+	if math.Abs(snr-want)/want > 0.05 {
+		t.Errorf("empirical SNR = %v, want %v", snr, want)
+	}
+}
+
+func TestReceivedMACSuperposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// With xb = 0 the MAC reduces to the point-to-point channel law.
+	gar, gbr := complex(1, 0), complex(0, 1)
+	xa := complex(2, 1)
+	y := ReceivedMAC(gar, gbr, xa, 0, rng)
+	// The deterministic part must be gar·xa; noise has unit power, so the
+	// deviation magnitude is typically ~1.
+	dev := y - gar*xa
+	if math.Hypot(real(dev), imag(dev)) > 6 {
+		t.Errorf("deviation %v implausibly large", dev)
+	}
+}
+
+func TestErasureFromRate(t *testing.T) {
+	tests := []struct {
+		name string
+		rate float64
+		want float64
+	}{
+		{name: "dead link", rate: 0, want: 1},
+		{name: "half", rate: 0.5, want: 0.5},
+		{name: "full", rate: 1, want: 0},
+		{name: "above one clips", rate: 3, want: 0},
+		{name: "negative clips", rate: -1, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ErasureFromRate(tt.rate); !xmath.ApproxEqual(got, tt.want, 1e-12) {
+				t.Errorf("ErasureFromRate(%v) = %v, want %v", tt.rate, got, tt.want)
+			}
+		})
+	}
+}

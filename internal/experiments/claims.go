@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bicoop/internal/channel"
+	"bicoop/internal/plot"
+	"bicoop/internal/protocols"
+	"bicoop/internal/xmath"
+)
+
+func init() {
+	register("crossover",
+		"Claim check: MABC dominates TDBC at low SNR and TDBC wins at high SNR (sum-rate sweep over P at the Fig 4 gains)",
+		runCrossover)
+	register("hbc-escape",
+		"Claim check: achievable HBC rate pairs outside both the MABC and TDBC outer bounds, swept over P at the Fig 4 gains",
+		runHBCEscape)
+	register("mabc-tight",
+		"Claim check: Theorem 2 is tight — the MABC inner and outer regions coincide on randomized scenarios",
+		runMABCTight)
+}
+
+func runCrossover(cfg Config) (Result, error) {
+	nP := 31
+	if cfg.Quick {
+		nP = 11
+	}
+	powersDB := xmath.Linspace(-10, 20, nP)
+	protos := []protocols.Protocol{protocols.MABC, protocols.TDBC, protocols.HBC}
+	series := make([]plot.Series, len(protos))
+	for i, p := range protos {
+		series[i] = plot.Series{Name: p.String(), Y: make([]float64, nP)}
+	}
+	table := plot.Table{
+		Title:   "Optimal sum rates vs power (Fig 4 gains)",
+		Headers: []string{"P (dB)", "MABC", "TDBC", "HBC"},
+	}
+	crossAt := math.NaN()
+	var prevDiff float64
+	for xi, pdb := range powersDB {
+		s := protocols.Scenario{P: xmath.FromDB(pdb), G: Fig4Gains()}
+		vals := make([]float64, len(protos))
+		for i, proto := range protos {
+			r, err := protocols.OptimalSumRate(proto, protocols.BoundInner, s)
+			if err != nil {
+				return Result{}, err
+			}
+			series[i].Y[xi] = r.Sum
+			vals[i] = r.Sum
+		}
+		table.AddNumericRow(fmt.Sprintf("%.1f", pdb), vals...)
+		diff := vals[0] - vals[1] // MABC - TDBC
+		if xi > 0 && math.IsNaN(crossAt) && prevDiff > 0 && diff <= 0 {
+			crossAt = pdb
+		}
+		prevDiff = diff
+	}
+	res := Result{
+		Charts: []plot.Chart{{
+			Title:  table.Title,
+			XLabel: "P (dB)",
+			YLabel: "sum rate (bits/use)",
+			X:      powersDB,
+			Series: series,
+		}},
+		Tables: []plot.Table{table},
+	}
+	if !math.IsNaN(crossAt) {
+		res.Findings = append(res.Findings, fmt.Sprintf(
+			"MABC dominates below, TDBC above: sum-rate crossover near P = %.1f dB (paper: 'in the low SNR regime, the MABC protocol dominates the TDBC protocol, while the latter is better in the high SNR regime')", crossAt))
+	} else {
+		res.Findings = append(res.Findings, "no MABC/TDBC crossover found in the swept power range — UNEXPECTED vs the paper")
+	}
+	return res, nil
+}
+
+func runHBCEscape(cfg Config) (Result, error) {
+	powersDB := []float64{-5, 0, 5, 10, 15, 20}
+	angles := 181
+	if cfg.Quick {
+		powersDB = []float64{0, 10}
+		angles = 91
+	}
+	table := plot.Table{
+		Title:   "HBC achievable points outside both MABC and TDBC outer bounds",
+		Headers: []string{"P (dB)", "witnesses", "max margin (bits)", "witness Ra", "witness Rb"},
+	}
+	margins := make([]float64, len(powersDB))
+	anyEscape := false
+	for i, pdb := range powersDB {
+		s := protocols.Scenario{P: xmath.FromDB(pdb), G: Fig4Gains()}
+		esc, err := protocols.HBCEscapePoints(s, protocols.RegionOptions{Angles: angles})
+		if err != nil {
+			return Result{}, err
+		}
+		best := protocols.EscapeWitness{}
+		for _, e := range esc {
+			if e.Margin > best.Margin {
+				best = e
+			}
+		}
+		margins[i] = best.Margin
+		if best.Margin > 1e-4 {
+			anyEscape = true
+		}
+		table.AddNumericRow(fmt.Sprintf("%.1f", pdb),
+			float64(len(esc)), best.Margin, best.Point.Ra, best.Point.Rb)
+	}
+	res := Result{
+		Charts: []plot.Chart{{
+			Title:  "Escape margin of HBC beyond both outer bounds",
+			XLabel: "P (dB)",
+			YLabel: "margin (bits)",
+			X:      powersDB,
+			Series: []plot.Series{{Name: "max escape margin", Y: margins}},
+		}},
+		Tables: []plot.Table{table},
+	}
+	if anyEscape {
+		res.Findings = append(res.Findings,
+			"confirmed: the HBC achievable region contains points outside the outer bounds of both two/three-phase protocols (paper Section IV, final paragraph)")
+	} else {
+		res.Findings = append(res.Findings, "no escape points found — UNEXPECTED vs the paper")
+	}
+	return res, nil
+}
+
+func runMABCTight(cfg Config) (Result, error) {
+	trials := 40
+	angles := 121
+	if cfg.Quick {
+		trials = 8
+		angles = 61
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	worst := 0.0
+	table := plot.Table{
+		Title:   "MABC inner vs outer region agreement on randomized scenarios",
+		Headers: []string{"trial", "P (dB)", "Gab (dB)", "Gar (dB)", "Gbr (dB)", "Hausdorff-like gap"},
+	}
+	for trial := 0; trial < trials; trial++ {
+		pdb := -10 + 30*rng.Float64()
+		gab := -10 + 8*rng.Float64()
+		gar := gab + 15*rng.Float64()
+		gbr := gab + 15*rng.Float64()
+		s := protocols.Scenario{P: xmath.FromDB(pdb), G: channel.GainsFromDB(gab, gar, gbr)}
+		inner, err := protocols.GaussianRegion(protocols.MABC, protocols.BoundInner, s, protocols.RegionOptions{Angles: angles})
+		if err != nil {
+			return Result{}, err
+		}
+		outer, err := protocols.GaussianRegion(protocols.MABC, protocols.BoundOuter, s, protocols.RegionOptions{Angles: angles})
+		if err != nil {
+			return Result{}, err
+		}
+		gap := math.Abs(inner.Area() - outer.Area())
+		if gap > worst {
+			worst = gap
+		}
+		if trial < 10 {
+			table.AddNumericRow(fmt.Sprintf("%d", trial), pdb, gab, gar, gbr, gap)
+		}
+	}
+	res := Result{Tables: []plot.Table{table}}
+	if worst < 1e-6 {
+		res.Findings = append(res.Findings, fmt.Sprintf(
+			"confirmed: MABC inner and outer regions coincide on all %d randomized scenarios (max area gap %.2e) — Theorem 2 gives the exact capacity region", trials, worst))
+	} else {
+		res.Findings = append(res.Findings, fmt.Sprintf(
+			"MABC inner/outer regions diverged by %.2e — UNEXPECTED, Theorem 2 is tight", worst))
+	}
+	return res, nil
+}

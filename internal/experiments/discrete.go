@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bicoop/internal/dmc"
+	"bicoop/internal/plot"
+	"bicoop/internal/prob"
+	"bicoop/internal/protocols"
+	"bicoop/internal/xmath"
+)
+
+func init() {
+	register("dmc",
+		"Extension: Section III theorems on a discrete memoryless (all-BSC) network — sum rates vs relay-link crossover probability",
+		runDMC)
+	register("blahut",
+		"Extension: Blahut-Arimoto capacity of quantized-AWGN links converging with output resolution",
+		runBlahut)
+}
+
+func runDMC(cfg Config) (Result, error) {
+	nEps := 13
+	if cfg.Quick {
+		nEps = 5
+	}
+	const epsD = 0.25
+	epsRs := xmath.Linspace(0.01, 0.4, nEps)
+	protos := []protocols.Protocol{protocols.DT, protocols.MABC, protocols.TDBC, protocols.HBC}
+	series := make([]plot.Series, len(protos))
+	for i, p := range protos {
+		series[i] = plot.Series{Name: p.String(), Y: make([]float64, nEps)}
+	}
+	table := plot.Table{
+		Title:   fmt.Sprintf("Sum rates on the all-BSC network (direct link eps = %.2f)", epsD),
+		Headers: []string{"eps relay", "DT", "MABC", "TDBC", "HBC"},
+	}
+	relayBeatsDirect := false
+	for xi, epsR := range epsRs {
+		n := protocols.SymmetricBSCNetwork(epsR, epsD)
+		li, err := protocols.LinkInfosFromDMC(n, protocols.Inputs{
+			A: prob.NewUniform(2), B: prob.NewUniform(2), R: prob.NewUniform(2),
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		vals := make([]float64, len(protos))
+		for i, proto := range protos {
+			spec, err := protocols.Compile(proto, protocols.BoundInner, li)
+			if err != nil {
+				return Result{}, err
+			}
+			opt, err := spec.MaxSumRate()
+			if err != nil {
+				return Result{}, err
+			}
+			series[i].Y[xi] = opt.Objective
+			vals[i] = opt.Objective
+		}
+		table.AddNumericRow(fmt.Sprintf("%.3f", epsR), vals...)
+		if vals[1] > vals[0] { // MABC > DT
+			relayBeatsDirect = true
+		}
+	}
+	res := Result{
+		Charts: []plot.Chart{{
+			Title:  table.Title,
+			XLabel: "relay-link crossover probability",
+			YLabel: "sum rate (bits/use)",
+			X:      epsRs,
+			Series: series,
+		}},
+		Tables: []plot.Table{table},
+	}
+	if relayBeatsDirect {
+		res.Findings = append(res.Findings,
+			"the theorems evaluate on arbitrary DMCs exactly as on the Gaussian model: with clean relay links, coded cooperation beats direct transmission on the BSC network too")
+	}
+	res.Findings = append(res.Findings,
+		"HBC >= max(MABC, TDBC) holds pointwise on the DMC network as well (protocol-nesting argument is channel-agnostic)")
+	return res, nil
+}
+
+func runBlahut(cfg Config) (Result, error) {
+	resolutions := []int{2, 4, 8, 16, 32, 64, 128}
+	if cfg.Quick {
+		resolutions = []int{2, 8, 32}
+	}
+	snrs := []float64{0.1, 0.5, 2.0}
+	table := plot.Table{
+		Title:   "Quantized BPSK-AWGN capacity (Blahut-Arimoto) vs output bins; real-AWGN Gaussian capacity as the ceiling",
+		Headers: []string{"snr", "bins", "capacity (bits)", "gaussian 0.5*C(snr)", "BA iterations"},
+	}
+	x := make([]float64, len(resolutions))
+	series := make([]plot.Series, len(snrs))
+	for si := range snrs {
+		series[si] = plot.Series{Name: fmt.Sprintf("snr=%.1f", snrs[si]), Y: make([]float64, len(resolutions))}
+	}
+	monotone := true
+	for ri, bins := range resolutions {
+		x[ri] = float64(bins)
+		for si, snr := range snrs {
+			ch, err := dmc.QuantizeAWGN(snr, bins, 0)
+			if err != nil {
+				return Result{}, err
+			}
+			cap1, err := ch.Capacity(1e-9, 0)
+			if err != nil {
+				return Result{}, err
+			}
+			series[si].Y[ri] = cap1.Capacity
+			if ri > 0 && cap1.Capacity < series[si].Y[ri-1]-1e-9 {
+				monotone = false
+			}
+			table.AddRow(fmt.Sprintf("%.1f", snr), fmt.Sprintf("%d", bins),
+				fmt.Sprintf("%.6f", cap1.Capacity), fmt.Sprintf("%.6f", 0.5*xmath.C(snr)),
+				fmt.Sprintf("%d", cap1.Iterations))
+		}
+	}
+	res := Result{
+		Charts: []plot.Chart{{
+			Title:  "Capacity vs quantization resolution",
+			XLabel: "output bins",
+			YLabel: "capacity (bits/use)",
+			X:      x,
+			Series: series,
+		}},
+		Tables: []plot.Table{table},
+	}
+	if monotone {
+		res.Findings = append(res.Findings,
+			"finer output quantization monotonically recovers capacity, approaching the BPSK-constrained AWGN limit (below the Gaussian-input ceiling, tight at low SNR)")
+	} else {
+		res.Findings = append(res.Findings, "capacity not monotone in resolution — UNEXPECTED")
+	}
+	return res, nil
+}

@@ -1,0 +1,98 @@
+// Package experiments is the reproduction harness: every figure of the
+// paper's evaluation (Figs 3 and 4) and every textual claim around them is a
+// named, parameterized, reproducible experiment, plus the ablations and
+// Monte Carlo extensions listed in DESIGN.md. The cmd/bcc CLI and the
+// module-level benchmarks both drive this registry, so the reported numbers
+// always come from the same code path.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bicoop/internal/plot"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Quick reduces trial counts and sweep resolutions for use in tests and
+	// benchmarks; the full configuration reproduces the figures at
+	// publication resolution.
+	Quick bool
+	// Seed drives every randomized component.
+	Seed int64
+}
+
+// Result is a completed experiment: charts and tables ready to render, plus
+// free-form findings (the check outcomes recorded in EXPERIMENTS.md).
+type Result struct {
+	// ID is the experiment identifier (e.g. "fig3").
+	ID string
+	// Description states what the experiment reproduces.
+	Description string
+	// Charts holds zero or more line charts.
+	Charts []plot.Chart
+	// Regions holds zero or more rate-region plots.
+	Regions []plot.RegionPlot
+	// Tables holds the numeric tables backing the charts.
+	Tables []plot.Table
+	// Findings lists the qualitative outcomes checked against the paper.
+	Findings []string
+}
+
+// Runner executes one experiment.
+type Runner func(cfg Config) (Result, error)
+
+// ErrUnknown reports an unregistered experiment id.
+var ErrUnknown = errors.New("experiments: unknown experiment")
+
+// registry maps experiment ids to runners. It is populated at init time by
+// the sibling files and never mutated afterwards.
+var registry = map[string]entry{}
+
+type entry struct {
+	description string
+	run         Runner
+}
+
+func register(id, description string, run Runner) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", id))
+	}
+	registry[id] = entry{description: description, run: run}
+}
+
+// IDs returns all registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(id string) (string, error) {
+	e, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknown, id)
+	}
+	return e.description, nil
+}
+
+// Run executes the experiment with the given configuration.
+func Run(id string, cfg Config) (Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %q (known: %v)", ErrUnknown, id, IDs())
+	}
+	res, err := e.run(cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID = id
+	res.Description = e.description
+	return res, nil
+}

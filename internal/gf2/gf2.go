@@ -1,0 +1,358 @@
+// Package gf2 implements linear algebra over GF(2) with 64-bit packed rows:
+// matrices, Gaussian elimination, rank, and linear-system solving. It backs
+// the bit-true simulation of the paper's achievability arguments, where
+// random coding and random binning are realized as random linear maps and
+// maximum-likelihood decoding over erasure links reduces to solving a linear
+// system.
+package gf2
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Errors returned by this package.
+var (
+	ErrShape           = errors.New("gf2: dimension mismatch")
+	ErrInconsistent    = errors.New("gf2: inconsistent linear system")
+	ErrUnderdetermined = errors.New("gf2: underdetermined linear system")
+)
+
+// Vector is a packed bit vector of fixed logical length.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// NewVector returns an all-zero vector of n bits.
+func NewVector(n int) Vector {
+	return Vector{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// RandomVector returns a uniformly random n-bit vector drawn from r.
+func RandomVector(n int, r *rand.Rand) Vector {
+	v := NewVector(n)
+	for i := range v.words {
+		v.words[i] = r.Uint64()
+	}
+	v.maskTail()
+	return v
+}
+
+// VectorFromBits builds a vector from a bool slice.
+func VectorFromBits(bits []bool) Vector {
+	v := NewVector(len(bits))
+	for i, b := range bits {
+		if b {
+			v.Set(i, 1)
+		}
+	}
+	return v
+}
+
+func (v *Vector) maskTail() {
+	if v.n%64 != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (uint64(1) << (v.n % 64)) - 1
+	}
+}
+
+// Len returns the logical bit length.
+func (v Vector) Len() int { return v.n }
+
+// Bit returns bit i as 0 or 1.
+func (v Vector) Bit(i int) int {
+	return int(v.words[i/64] >> (i % 64) & 1)
+}
+
+// Set sets bit i to b (0 or 1).
+func (v *Vector) Set(i, b int) {
+	if b != 0 {
+		v.words[i/64] |= 1 << (i % 64)
+	} else {
+		v.words[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// Xor returns v ⊕ w. Lengths must match.
+func (v Vector) Xor(w Vector) (Vector, error) {
+	if v.n != w.n {
+		return Vector{}, fmt.Errorf("%w: %d vs %d bits", ErrShape, v.n, w.n)
+	}
+	out := NewVector(v.n)
+	for i := range v.words {
+		out.words[i] = v.words[i] ^ w.words[i]
+	}
+	return out, nil
+}
+
+// Equal reports bitwise equality.
+func (v Vector) Equal(w Vector) bool {
+	if v.n != w.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != w.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Weight returns the Hamming weight.
+func (v Vector) Weight() int {
+	var c int
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (v Vector) Clone() Vector {
+	out := Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(out.words, v.words)
+	return out
+}
+
+// String renders the vector as a bit string, LSB first.
+func (v Vector) String() string {
+	buf := make([]byte, v.n)
+	for i := 0; i < v.n; i++ {
+		buf[i] = byte('0' + v.Bit(i))
+	}
+	return string(buf)
+}
+
+// Matrix is a dense GF(2) matrix with packed rows.
+type Matrix struct {
+	rows, cols int
+	data       []Vector
+}
+
+// NewMatrix returns an all-zero rows-by-cols matrix.
+func NewMatrix(rows, cols int) Matrix {
+	m := Matrix{rows: rows, cols: cols, data: make([]Vector, rows)}
+	for i := range m.data {
+		m.data[i] = NewVector(cols)
+	}
+	return m
+}
+
+// RandomMatrix returns a uniformly random rows-by-cols matrix.
+func RandomMatrix(rows, cols int, r *rand.Rand) Matrix {
+	m := Matrix{rows: rows, cols: cols, data: make([]Vector, rows)}
+	for i := range m.data {
+		m.data[i] = RandomVector(cols, r)
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity.
+func Identity(n int) Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i].Set(i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m Matrix) Cols() int { return m.cols }
+
+// At returns entry (i, j).
+func (m Matrix) At(i, j int) int { return m.data[i].Bit(j) }
+
+// Set sets entry (i, j).
+func (m *Matrix) Set(i, j, b int) { m.data[i].Set(j, b) }
+
+// Row returns a copy of row i.
+func (m Matrix) Row(i int) Vector { return m.data[i].Clone() }
+
+// AppendRow appends a copy of row v; v must have m.cols bits.
+func (m *Matrix) AppendRow(v Vector) error {
+	if v.n != m.cols {
+		return fmt.Errorf("%w: row has %d bits, matrix has %d cols", ErrShape, v.n, m.cols)
+	}
+	m.data = append(m.data, v.Clone())
+	m.rows++
+	return nil
+}
+
+// Clone returns a deep copy.
+func (m Matrix) Clone() Matrix {
+	out := Matrix{rows: m.rows, cols: m.cols, data: make([]Vector, m.rows)}
+	for i := range m.data {
+		out.data[i] = m.data[i].Clone()
+	}
+	return out
+}
+
+// MulVec returns m·x over GF(2); x must have m.cols bits. The result has
+// m.rows bits, one parity per row.
+func (m Matrix) MulVec(x Vector) (Vector, error) {
+	if x.n != m.cols {
+		return Vector{}, fmt.Errorf("%w: vector %d bits, matrix %d cols", ErrShape, x.n, m.cols)
+	}
+	out := NewVector(m.rows)
+	for i, row := range m.data {
+		var acc uint64
+		for w := range row.words {
+			acc ^= row.words[w] & x.words[w]
+		}
+		out.Set(i, bits.OnesCount64(acc)%2)
+	}
+	return out, nil
+}
+
+// Rank returns the GF(2) rank of the matrix.
+func (m Matrix) Rank() int {
+	work := m.Clone()
+	rank, _ := work.eliminate(nil)
+	return rank
+}
+
+// eliminate performs forward Gaussian elimination in place, optionally
+// carrying an RHS vector (one bit per row) through the same row operations.
+// It returns the rank and the pivot column of each pivot row.
+func (m *Matrix) eliminate(rhs *Vector) (int, []int) {
+	pivots := make([]int, 0, m.rows)
+	rank := 0
+	for col := 0; col < m.cols && rank < m.rows; col++ {
+		// Find a pivot at or below row `rank`.
+		sel := -1
+		for i := rank; i < m.rows; i++ {
+			if m.data[i].Bit(col) == 1 {
+				sel = i
+				break
+			}
+		}
+		if sel == -1 {
+			continue
+		}
+		m.data[rank], m.data[sel] = m.data[sel], m.data[rank]
+		if rhs != nil && sel != rank {
+			rb, sb := rhs.Bit(rank), rhs.Bit(sel)
+			rhs.Set(rank, sb)
+			rhs.Set(sel, rb)
+		}
+		// Eliminate this column from all other rows (full reduction keeps
+		// back-substitution trivial).
+		for i := 0; i < m.rows; i++ {
+			if i != rank && m.data[i].Bit(col) == 1 {
+				for w := range m.data[i].words {
+					m.data[i].words[w] ^= m.data[rank].words[w]
+				}
+				if rhs != nil {
+					rhs.Set(i, rhs.Bit(i)^rhs.Bit(rank))
+				}
+			}
+		}
+		pivots = append(pivots, col)
+		rank++
+	}
+	return rank, pivots
+}
+
+// Solve finds x with m·x = b (b has m.rows bits). It returns
+// ErrInconsistent when no solution exists and ErrUnderdetermined when the
+// solution is not unique; the bit-true decoder treats both as decoding
+// failures.
+func (m Matrix) Solve(b Vector) (Vector, error) {
+	if b.n != m.rows {
+		return Vector{}, fmt.Errorf("%w: rhs %d bits, matrix %d rows", ErrShape, b.n, m.rows)
+	}
+	work := m.Clone()
+	rhs := b.Clone()
+	rank, pivots := work.eliminate(&rhs)
+	// Inconsistency: a zero row with a non-zero RHS bit.
+	for i := rank; i < work.rows; i++ {
+		if rhs.Bit(i) == 1 {
+			return Vector{}, ErrInconsistent
+		}
+	}
+	if rank < m.cols {
+		return Vector{}, fmt.Errorf("%w: rank %d of %d columns", ErrUnderdetermined, rank, m.cols)
+	}
+	x := NewVector(m.cols)
+	for i, col := range pivots {
+		x.Set(col, rhs.Bit(i))
+	}
+	return x, nil
+}
+
+// Code is a random linear block code: k message bits mapped to n coded bits
+// by x = G·w with a dense random generator G (n-by-k). Random linear codes
+// achieve capacity on erasure channels, which is exactly the guarantee the
+// paper's random-coding arguments need from this substrate.
+type Code struct {
+	// G is the n-by-k generator matrix.
+	G Matrix
+}
+
+// NewCode draws a random (n, k) code from r.
+func NewCode(n, k int, r *rand.Rand) Code {
+	return Code{G: RandomMatrix(n, k, r)}
+}
+
+// N returns the block length.
+func (c Code) N() int { return c.G.rows }
+
+// K returns the message length.
+func (c Code) K() int { return c.G.cols }
+
+// Encode maps a k-bit message to its n-bit codeword.
+func (c Code) Encode(w Vector) (Vector, error) {
+	return c.G.MulVec(w)
+}
+
+// Received is a partially erased codeword observation: for every surviving
+// position i, the pair (row G[i], bit x[i]) is one linear equation about w.
+type Received struct {
+	Rows []Vector // generator rows that survived
+	Bits []int    // corresponding received bits
+}
+
+// Observe applies an erasure pattern to a codeword: erased[i] true means
+// position i was lost. The surviving equations are returned.
+func (c Code) Observe(x Vector, erased []bool) (Received, error) {
+	if x.n != c.N() || len(erased) != c.N() {
+		return Received{}, fmt.Errorf("%w: codeword %d bits, erasures %d, n %d", ErrShape, x.n, len(erased), c.N())
+	}
+	var rec Received
+	for i := 0; i < c.N(); i++ {
+		if !erased[i] {
+			rec.Rows = append(rec.Rows, c.G.Row(i))
+			rec.Bits = append(rec.Bits, x.Bit(i))
+		}
+	}
+	return rec, nil
+}
+
+// DecodeEquations solves an arbitrary stack of linear equations about a
+// k-bit message: rows[i]·w = bits[i]. This is the general decoder used by
+// the protocol simulator, where a node may pool equations from several
+// phases (its own transmissions, overheard side information, and the relay
+// broadcast) before solving.
+func DecodeEquations(k int, rows []Vector, rowBits []int) (Vector, error) {
+	m := NewMatrix(0, k)
+	for _, row := range rows {
+		if err := m.AppendRow(row); err != nil {
+			return Vector{}, err
+		}
+	}
+	b := NewVector(len(rowBits))
+	for i, bit := range rowBits {
+		b.Set(i, bit)
+	}
+	return m.Solve(b)
+}
+
+// Decode recovers the message from a Received observation.
+func (c Code) Decode(rec Received) (Vector, error) {
+	return DecodeEquations(c.K(), rec.Rows, rec.Bits)
+}

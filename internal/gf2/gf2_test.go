@@ -1,0 +1,418 @@
+package gf2
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(130)
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", v.Len())
+	}
+	v.Set(0, 1)
+	v.Set(64, 1)
+	v.Set(129, 1)
+	if v.Weight() != 3 {
+		t.Errorf("Weight = %d, want 3", v.Weight())
+	}
+	if v.Bit(0) != 1 || v.Bit(64) != 1 || v.Bit(129) != 1 || v.Bit(1) != 0 {
+		t.Error("Set/Bit mismatch")
+	}
+	v.Set(64, 0)
+	if v.Bit(64) != 0 || v.Weight() != 2 {
+		t.Error("clearing a bit failed")
+	}
+}
+
+func TestVectorXor(t *testing.T) {
+	a := VectorFromBits([]bool{true, false, true, false})
+	b := VectorFromBits([]bool{true, true, false, false})
+	x, err := a.Xor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := VectorFromBits([]bool{false, true, true, false})
+	if !x.Equal(want) {
+		t.Errorf("Xor = %v, want %v", x, want)
+	}
+	// Xor with self is zero.
+	z, err := a.Xor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Weight() != 0 {
+		t.Errorf("a xor a has weight %d", z.Weight())
+	}
+	// Shape mismatch.
+	if _, err := a.Xor(NewVector(5)); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestXorGroupProperties(t *testing.T) {
+	// (Z_2^k, xor) is the group the paper's relay operates in: check
+	// associativity, identity, and self-inverse on random vectors.
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		a, b, c := RandomVector(n, r), RandomVector(n, r), RandomVector(n, r)
+		ab, _ := a.Xor(b)
+		abc1, _ := ab.Xor(c)
+		bc, _ := b.Xor(c)
+		abc2, _ := a.Xor(bc)
+		if !abc1.Equal(abc2) {
+			t.Fatal("xor not associative")
+		}
+		zero := NewVector(n)
+		az, _ := a.Xor(zero)
+		if !az.Equal(a) {
+			t.Fatal("zero is not identity")
+		}
+		// Relay decode step: b recovers wa from (wa xor wb) and wb.
+		wab, _ := a.Xor(b)
+		rec, _ := wab.Xor(b)
+		if !rec.Equal(a) {
+			t.Fatal("xor side-information recovery failed")
+		}
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := VectorFromBits([]bool{true, false, true})
+	if got := v.String(); got != "101" {
+		t.Errorf("String = %q, want 101", got)
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	id := Identity(100)
+	x := RandomVector(100, r)
+	y, err := id.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !y.Equal(x) {
+		t.Error("identity multiply changed the vector")
+	}
+}
+
+func TestMulVecKnown(t *testing.T) {
+	// [[1,1],[0,1],[1,0]] * [1,1] = [0,1,1].
+	m := NewMatrix(3, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 1)
+	m.Set(1, 1, 1)
+	m.Set(2, 0, 1)
+	x := VectorFromBits([]bool{true, true})
+	y, err := m.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := VectorFromBits([]bool{false, true, true})
+	if !y.Equal(want) {
+		t.Errorf("MulVec = %v, want %v", y, want)
+	}
+}
+
+func TestRank(t *testing.T) {
+	tests := []struct {
+		name string
+		m    func() Matrix
+		want int
+	}{
+		{name: "identity", m: func() Matrix { return Identity(8) }, want: 8},
+		{name: "zero", m: func() Matrix { return NewMatrix(5, 7) }, want: 0},
+		{
+			name: "duplicate rows",
+			m: func() Matrix {
+				m := NewMatrix(3, 3)
+				m.Set(0, 0, 1)
+				m.Set(1, 0, 1) // same as row 0
+				m.Set(2, 1, 1)
+				return m
+			},
+			want: 2,
+		},
+		{
+			name: "dependent row",
+			m: func() Matrix {
+				m := NewMatrix(3, 3)
+				// r0 = 110, r1 = 011, r2 = r0 xor r1 = 101.
+				m.Set(0, 0, 1)
+				m.Set(0, 1, 1)
+				m.Set(1, 1, 1)
+				m.Set(1, 2, 1)
+				m.Set(2, 0, 1)
+				m.Set(2, 2, 1)
+				return m
+			},
+			want: 2,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.m().Rank(); got != tt.want {
+				t.Errorf("Rank = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRankBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+r.Intn(100), 1+r.Intn(100)
+		m := RandomMatrix(rows, cols, r)
+		rank := m.Rank()
+		if rank < 0 || rank > rows || rank > cols {
+			t.Fatalf("rank %d out of bounds for %dx%d", rank, rows, cols)
+		}
+		// Rank is invariant under row duplication.
+		dup := m.Clone()
+		if rows > 0 {
+			if err := dup.AppendRow(m.Row(0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if dup.Rank() != rank {
+			t.Fatalf("rank changed after duplicating a row: %d -> %d", rank, dup.Rank())
+		}
+	}
+}
+
+func TestRandomSquareMatrixRankDistribution(t *testing.T) {
+	// A random n x n GF(2) matrix is full rank with probability
+	// prod_{i=1..n} (1 - 2^{-i}) -> ~0.2887881. Check empirically.
+	r := rand.New(rand.NewSource(4))
+	const n, trials = 20, 2000
+	full := 0
+	for i := 0; i < trials; i++ {
+		if RandomMatrix(n, n, r).Rank() == n {
+			full++
+		}
+	}
+	got := float64(full) / trials
+	if got < 0.25 || got > 0.33 {
+		t.Errorf("full-rank fraction = %v, want ~0.289", got)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	t.Run("unique solution round trip", func(t *testing.T) {
+		r := rand.New(rand.NewSource(5))
+		for trial := 0; trial < 40; trial++ {
+			k := 1 + r.Intn(60)
+			// Draw a random full-rank square system by rejection.
+			var m Matrix
+			for {
+				m = RandomMatrix(k, k, r)
+				if m.Rank() == k {
+					break
+				}
+			}
+			x := RandomVector(k, r)
+			b, err := m.MulVec(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.Solve(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(x) {
+				t.Fatalf("trial %d: Solve mismatch", trial)
+			}
+		}
+	})
+	t.Run("inconsistent", func(t *testing.T) {
+		// Rows: x0 = 0 and x0 = 1.
+		m := NewMatrix(2, 1)
+		m.Set(0, 0, 1)
+		m.Set(1, 0, 1)
+		b := VectorFromBits([]bool{false, true})
+		if _, err := m.Solve(b); !errors.Is(err, ErrInconsistent) {
+			t.Errorf("err = %v, want ErrInconsistent", err)
+		}
+	})
+	t.Run("underdetermined", func(t *testing.T) {
+		m := NewMatrix(1, 2)
+		m.Set(0, 0, 1)
+		b := VectorFromBits([]bool{true})
+		if _, err := m.Solve(b); !errors.Is(err, ErrUnderdetermined) {
+			t.Errorf("err = %v, want ErrUnderdetermined", err)
+		}
+	})
+	t.Run("overdetermined consistent", func(t *testing.T) {
+		// Three consistent equations about two unknowns.
+		m := NewMatrix(3, 2)
+		m.Set(0, 0, 1) // x0 = 1
+		m.Set(1, 1, 1) // x1 = 0
+		m.Set(2, 0, 1) // x0 + x1 = 1
+		m.Set(2, 1, 1)
+		b := VectorFromBits([]bool{true, false, true})
+		x, err := m.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Bit(0) != 1 || x.Bit(1) != 0 {
+			t.Errorf("x = %v, want 10", x)
+		}
+	})
+	t.Run("shape mismatch", func(t *testing.T) {
+		m := NewMatrix(2, 2)
+		if _, err := m.Solve(NewVector(3)); !errors.Is(err, ErrShape) {
+			t.Errorf("err = %v, want ErrShape", err)
+		}
+	})
+}
+
+func TestCodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	code := NewCode(100, 50, r)
+	if code.N() != 100 || code.K() != 50 {
+		t.Fatalf("dims = (%d,%d), want (100,50)", code.N(), code.K())
+	}
+	w := RandomVector(50, r)
+	x, err := code.Encode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No erasures: decoding must succeed with overwhelming probability
+	// (the 100x50 random matrix is full column rank w.h.p.).
+	rec, err := code.Observe(x, make([]bool, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := code.Decode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(w) {
+		t.Error("decode mismatch with no erasures")
+	}
+}
+
+func TestCodeErasureThreshold(t *testing.T) {
+	// Random linear codes on the BEC decode iff surviving rows have full
+	// column rank; with n(1-eps) >> k survival is near-certain, with
+	// n(1-eps) < k decoding must fail (underdetermined).
+	r := rand.New(rand.NewSource(7))
+	const n, k = 200, 80
+	code := NewCode(n, k, r)
+	w := RandomVector(k, r)
+	x, err := code.Encode(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("below capacity succeeds", func(t *testing.T) {
+		// Keep 120 of 200 positions: 120 > 80 = k, success w.h.p.
+		successes := 0
+		for trial := 0; trial < 50; trial++ {
+			erased := randomErasure(n, n-120, r)
+			rec, err := code.Observe(x, erased)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, err := code.Decode(rec); err == nil && got.Equal(w) {
+				successes++
+			}
+		}
+		if successes < 48 {
+			t.Errorf("successes = %d/50, want near all", successes)
+		}
+	})
+	t.Run("above capacity fails", func(t *testing.T) {
+		// Keep only 60 positions: 60 < 80 = k, decoding is always
+		// underdetermined.
+		for trial := 0; trial < 20; trial++ {
+			erased := randomErasure(n, n-60, r)
+			rec, err := code.Observe(x, erased)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := code.Decode(rec); err == nil {
+				t.Fatal("decoded with fewer equations than unknowns")
+			}
+		}
+	})
+}
+
+// randomErasure returns an erasure pattern with exactly nErased erasures.
+func randomErasure(n, nErased int, r *rand.Rand) []bool {
+	erased := make([]bool, n)
+	perm := r.Perm(n)
+	for _, i := range perm[:nErased] {
+		erased[i] = true
+	}
+	return erased
+}
+
+func TestObserveShapeErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	code := NewCode(10, 5, r)
+	x := NewVector(10)
+	if _, err := code.Observe(NewVector(9), make([]bool, 10)); !errors.Is(err, ErrShape) {
+		t.Error("want shape error for short codeword")
+	}
+	if _, err := code.Observe(x, make([]bool, 9)); !errors.Is(err, ErrShape) {
+		t.Error("want shape error for short erasure pattern")
+	}
+}
+
+func TestDecodeEquationsPoolsAcrossSources(t *testing.T) {
+	// A node pools equations from two codes about the same message — the
+	// protocol simulator's side-information combining step.
+	r := rand.New(rand.NewSource(9))
+	const k = 40
+	w := RandomVector(k, r)
+	c1 := NewCode(30, k, r) // alone underdetermined (30 < 40)
+	c2 := NewCode(30, k, r)
+	x1, _ := c1.Encode(w)
+	x2, _ := c2.Encode(w)
+
+	var rows []Vector
+	var bitsArr []int
+	for i := 0; i < 30; i++ {
+		rows = append(rows, c1.G.Row(i))
+		bitsArr = append(bitsArr, x1.Bit(i))
+	}
+	// c1 alone must fail.
+	if _, err := DecodeEquations(k, rows, bitsArr); err == nil {
+		t.Fatal("expected failure with 30 equations for 40 unknowns")
+	}
+	for i := 0; i < 30; i++ {
+		rows = append(rows, c2.G.Row(i))
+		bitsArr = append(bitsArr, x2.Bit(i))
+	}
+	got, err := DecodeEquations(k, rows, bitsArr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(w) {
+		t.Error("pooled decode mismatch")
+	}
+}
+
+func TestMulVecLinearity(t *testing.T) {
+	// Property: G(a xor b) == Ga xor Gb.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, k := 1+r.Intn(80), 1+r.Intn(80)
+		g := RandomMatrix(n, k, r)
+		a, b := RandomVector(k, r), RandomVector(k, r)
+		ab, _ := a.Xor(b)
+		gab, _ := g.MulVec(ab)
+		ga, _ := g.MulVec(a)
+		gb, _ := g.MulVec(b)
+		want, _ := ga.Xor(gb)
+		return gab.Equal(want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

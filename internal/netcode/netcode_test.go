@@ -1,0 +1,225 @@
+package netcode
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bicoop/internal/gf2"
+)
+
+func TestNewGroup(t *testing.T) {
+	tests := []struct {
+		name      string
+		la, lb    uint64
+		wantOrder uint64
+		wantErr   bool
+	}{
+		{name: "equal", la: 8, lb: 8, wantOrder: 8},
+		{name: "a larger", la: 16, lb: 4, wantOrder: 16},
+		{name: "b larger", la: 2, lb: 32, wantOrder: 32},
+		{name: "empty a", la: 0, lb: 4, wantErr: true},
+		{name: "empty b", la: 4, lb: 0, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, err := NewGroup(tt.la, tt.lb)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Order() != tt.wantOrder {
+				t.Errorf("Order = %d, want %d", g.Order(), tt.wantOrder)
+			}
+		})
+	}
+}
+
+func TestGroupRoundTrip(t *testing.T) {
+	// The defining property of the scheme: each terminal recovers the peer
+	// message from the combined broadcast and its own message.
+	prop := func(rawA, rawB uint64) bool {
+		g, err := NewGroup(1024, 512)
+		if err != nil {
+			return false
+		}
+		wa, wb := rawA%1024, rawB%512
+		wr, err := g.Combine(wa, wb)
+		if err != nil {
+			return false
+		}
+		gotB, err1 := g.RecoverFrom(wr, wa) // at node a
+		gotA, err2 := g.RecoverFrom(wr, wb) // at node b
+		return err1 == nil && err2 == nil && gotB == wb && gotA == wa
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupRangeErrors(t *testing.T) {
+	g, err := NewGroup(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Combine(4, 0); !errors.Is(err, ErrRange) {
+		t.Errorf("Combine out of range: err = %v", err)
+	}
+	if _, err := g.RecoverFrom(0, 4); !errors.Is(err, ErrRange) {
+		t.Errorf("RecoverFrom out of range: err = %v", err)
+	}
+}
+
+func TestBinning(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	b, err := NewBinning(1000, 16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bins() != 16 || b.Messages() != 1000 {
+		t.Fatalf("dims = (%d bins, %d msgs)", b.Bins(), b.Messages())
+	}
+	// Every message has a bin in range, and Members is consistent with Bin.
+	counts := make(map[uint64]int)
+	for w := uint64(0); w < 1000; w++ {
+		s, err := b.Bin(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s >= 16 {
+			t.Fatalf("bin %d out of range", s)
+		}
+		counts[s]++
+	}
+	var total int
+	for s := uint64(0); s < 16; s++ {
+		members := b.Members(s)
+		if len(members) != counts[s] {
+			t.Errorf("bin %d: Members has %d, Bin counted %d", s, len(members), counts[s])
+		}
+		for _, w := range members {
+			got, err := b.Bin(w)
+			if err != nil || got != s {
+				t.Errorf("member %d of bin %d maps to %d (err %v)", w, s, got, err)
+			}
+		}
+		total += len(members)
+	}
+	if total != 1000 {
+		t.Errorf("bins partition %d messages, want 1000", total)
+	}
+	// Bins are roughly balanced (uniform assignment): each ~62.5 expected.
+	for s, c := range counts {
+		if c < 30 || c > 100 {
+			t.Errorf("bin %d badly unbalanced: %d members", s, c)
+		}
+	}
+}
+
+func TestBinningErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	if _, err := NewBinning(10, 0, r); !errors.Is(err, ErrBins) {
+		t.Errorf("zero bins: err = %v", err)
+	}
+	if _, err := NewBinning(0, 4, r); err == nil {
+		t.Error("zero messages: want error")
+	}
+	b, err := NewBinning(10, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Bin(10); !errors.Is(err, ErrRange) {
+		t.Errorf("out-of-range Bin: err = %v", err)
+	}
+}
+
+func TestBinningSideInformationDecoding(t *testing.T) {
+	// The TDBC decoding pattern: node a knows the bin index of wb (from the
+	// relay) and narrows it to one message using side information. Here the
+	// side information is simulated as "wb is one of a small candidate set".
+	r := rand.New(rand.NewSource(3))
+	const messages, bins = 4096, 64
+	b, err := NewBinning(messages, bins, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeOK := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		wb := uint64(r.Int63n(messages))
+		s, err := b.Bin(wb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Side information: a candidate set of ~messages/bins^2 wrong
+		// messages plus the true one. With |bin| ≈ 64 and candidates ≈ 2,
+		// the intersection is almost surely {wb}.
+		candidates := map[uint64]bool{wb: true}
+		for len(candidates) < 2 {
+			candidates[uint64(r.Int63n(messages))] = true
+		}
+		var matches []uint64
+		for w := range candidates {
+			ws, err := b.Bin(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ws == s {
+				matches = append(matches, w)
+			}
+		}
+		if len(matches) == 1 && matches[0] == wb {
+			decodeOK++
+		}
+	}
+	if decodeOK < trials*95/100 {
+		t.Errorf("side-information decoding succeeded %d/%d, want >= 95%%", decodeOK, trials)
+	}
+}
+
+func TestXORWord(t *testing.T) {
+	a := gf2.VectorFromBits([]bool{true, false, true})
+	b := gf2.VectorFromBits([]bool{false, false, true})
+	x, err := XORWord(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Bit(0) != 1 || x.Bit(1) != 0 || x.Bit(2) != 0 {
+		t.Errorf("XORWord = %v", x)
+	}
+}
+
+func TestPadCombine(t *testing.T) {
+	// Different-length messages: pad the shorter with zeros.
+	r := rand.New(rand.NewSource(4))
+	wa := gf2.RandomVector(20, r)
+	wb := gf2.RandomVector(12, r)
+	wr := PadCombine(wa, wb)
+	if wr.Len() != 20 {
+		t.Fatalf("combined length = %d, want 20", wr.Len())
+	}
+	// Node a (knows wa) recovers wb: wr xor pad(wa).
+	recB := PadCombine(wr, wa)
+	for i := 0; i < 12; i++ {
+		if recB.Bit(i) != wb.Bit(i) {
+			t.Fatalf("bit %d: recovered %d, want %d", i, recB.Bit(i), wb.Bit(i))
+		}
+	}
+	// Upper padding bits must be zero after recovery.
+	for i := 12; i < 20; i++ {
+		if recB.Bit(i) != 0 {
+			t.Fatalf("padding bit %d nonzero after recovery", i)
+		}
+	}
+	// Node b (knows wb) recovers wa.
+	recA := PadCombine(wr, wb)
+	if !recA.Equal(wa) {
+		t.Error("node b failed to recover wa")
+	}
+}

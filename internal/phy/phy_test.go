@@ -1,0 +1,284 @@
+package phy
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bicoop/internal/xmath"
+)
+
+func TestModulationStrings(t *testing.T) {
+	tests := []struct {
+		m    Modulation
+		name string
+		bps  int
+	}{
+		{BPSK, "BPSK", 1},
+		{QPSK, "QPSK", 2},
+		{QAM16, "16-QAM", 4},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.name {
+			t.Errorf("String = %q, want %q", got, tt.name)
+		}
+		bps, err := tt.m.BitsPerSymbol()
+		if err != nil || bps != tt.bps {
+			t.Errorf("%v.BitsPerSymbol = (%d, %v), want %d", tt.m, bps, err, tt.bps)
+		}
+	}
+	if got := Modulation(0).String(); got != "Modulation(0)" {
+		t.Errorf("unknown String = %q", got)
+	}
+	if _, err := Modulation(0).BitsPerSymbol(); !errors.Is(err, ErrUnknownModulation) {
+		t.Error("want ErrUnknownModulation")
+	}
+}
+
+func TestModulateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []Modulation{BPSK, QPSK, QAM16} {
+		t.Run(m.String(), func(t *testing.T) {
+			bps, err := m.BitsPerSymbol()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bits := make([]int, 240*bps/bps*bps)
+			for i := range bits {
+				bits[i] = rng.Intn(2)
+			}
+			syms, err := Modulate(m, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(syms) != len(bits)/bps {
+				t.Fatalf("symbol count %d, want %d", len(syms), len(bits)/bps)
+			}
+			got, err := Demodulate(m, syms)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range bits {
+				if bits[i] != got[i] {
+					t.Fatalf("noiseless round trip flipped bit %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestConstellationUnitEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range []Modulation{BPSK, QPSK, QAM16} {
+		bps, _ := m.BitsPerSymbol()
+		const nSym = 50000
+		bits := make([]int, nSym*bps)
+		for i := range bits {
+			bits[i] = rng.Intn(2)
+		}
+		syms, err := Modulate(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e float64
+		for _, s := range syms {
+			e += real(s)*real(s) + imag(s)*imag(s)
+		}
+		if avg := e / float64(len(syms)); math.Abs(avg-1) > 0.02 {
+			t.Errorf("%v average symbol energy = %v, want 1", m, avg)
+		}
+	}
+}
+
+func TestModulateErrors(t *testing.T) {
+	if _, err := Modulate(QPSK, []int{1}); !errors.Is(err, ErrBitCount) {
+		t.Errorf("err = %v, want ErrBitCount", err)
+	}
+	if _, err := Modulate(Modulation(9), []int{1}); !errors.Is(err, ErrUnknownModulation) {
+		t.Errorf("err = %v, want ErrUnknownModulation", err)
+	}
+	if _, err := Demodulate(Modulation(9), nil); !errors.Is(err, ErrUnknownModulation) {
+		t.Errorf("err = %v, want ErrUnknownModulation", err)
+	}
+}
+
+func TestQFunction(t *testing.T) {
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1.0, 0.15865525393145707},
+		{2.0, 0.02275013194817921},
+		{-1.0, 0.8413447460685429},
+	}
+	for _, tt := range tests {
+		if got := Q(tt.x); !xmath.ApproxEqual(got, tt.want, 1e-12) {
+			t.Errorf("Q(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestTheoreticalBERKnownValues(t *testing.T) {
+	// BPSK at Es/N0 = 10 (10 dB): Q(sqrt(20)) ≈ 3.87e-6.
+	ber, err := TheoreticalBER(BPSK, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmath.ApproxEqual(ber, Q(math.Sqrt(20)), 1e-15) {
+		t.Errorf("BPSK BER = %v", ber)
+	}
+	// QPSK needs 3 dB more symbol SNR for the same BER as BPSK.
+	bpsk, _ := TheoreticalBER(BPSK, 5)
+	qpsk, _ := TheoreticalBER(QPSK, 10)
+	if !xmath.ApproxEqual(bpsk, qpsk, 1e-12) {
+		t.Errorf("BPSK@5 %v != QPSK@10 %v", bpsk, qpsk)
+	}
+	// Ordering at fixed SNR: BPSK < QPSK < 16-QAM.
+	b, _ := TheoreticalBER(BPSK, 8)
+	q, _ := TheoreticalBER(QPSK, 8)
+	qa, _ := TheoreticalBER(QAM16, 8)
+	if !(b < q && q < qa) {
+		t.Errorf("BER ordering broken: %v %v %v", b, q, qa)
+	}
+	if _, err := TheoreticalBER(Modulation(9), 1); err == nil {
+		t.Error("want error for unknown modulation")
+	}
+	// Negative SNR clamps to the 0.5 floor region rather than NaN.
+	if ber, err := TheoreticalBER(BPSK, -1); err != nil || ber != 0.5 {
+		t.Errorf("negative snr: (%v, %v)", ber, err)
+	}
+}
+
+func TestSimulatedBERMatchesTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tests := []struct {
+		m   Modulation
+		snr float64
+	}{
+		{BPSK, 2.0},
+		{BPSK, 4.0},
+		{QPSK, 4.0},
+		{QPSK, 8.0},
+		{QAM16, 10.0},
+		{QAM16, 20.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.m.String(), func(t *testing.T) {
+			want, err := TheoreticalBER(tt.m, tt.snr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Enough bits for ~1000 expected errors.
+			nBits := int(math.Max(2e5, 1000/want))
+			got, err := SimulateBER(tt.m, tt.snr, nBits, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 0.15*want+1e-4 {
+				t.Errorf("%v at snr %v: simulated %v vs theory %v", tt.m, tt.snr, got, want)
+			}
+		})
+	}
+}
+
+func TestSimulateBERValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := SimulateBER(BPSK, 1, 100, nil); err == nil {
+		t.Error("nil RNG should error")
+	}
+	if _, err := SimulateBER(BPSK, 1, 0, rng); err == nil {
+		t.Error("zero bits should error")
+	}
+	if _, err := SimulateBER(Modulation(9), 1, 100, rng); err == nil {
+		t.Error("unknown modulation should error")
+	}
+}
+
+func TestAFLinkSNR(t *testing.T) {
+	// Closed-form spot check: p = 10, g1 = 1, g2 = 2:
+	// a² = 10/11, snr = 10·1·(10/11)·2 / ((10/11)·2 + 1) ≈ 6.45.
+	got := AFLinkSNR(10, 1, 2)
+	a2 := 10.0 / 11.0
+	want := 10 * 1 * a2 * 2 / (a2*2 + 1)
+	if !xmath.ApproxEqual(got, want, 1e-12) {
+		t.Errorf("AFLinkSNR = %v, want %v", got, want)
+	}
+	// The AF path is worse than either hop alone (noise accumulates).
+	if got >= 10*1 || got >= 10*2*a2*10/(a2*10) {
+		t.Errorf("AF SNR %v should be below the single-hop SNRs", got)
+	}
+	// Degenerate inputs.
+	if AFLinkSNR(0, 1, 1) != 0 || AFLinkSNR(1, 0, 1) != 0 || AFLinkSNR(1, 1, 0) != 0 {
+		t.Error("degenerate AFLinkSNR should be 0")
+	}
+}
+
+func TestAFLinkSNRMonotone(t *testing.T) {
+	prev := 0.0
+	for _, p := range []float64{0.1, 1, 10, 100} {
+		s := AFLinkSNR(p, 1, 3)
+		if s < prev {
+			t.Fatalf("AF SNR decreased with power at p=%v", p)
+		}
+		prev = s
+	}
+	// High-power limit: snr -> p·g1·g2/(g1+g2) ... for g1=1, g2=3 the
+	// harmonic combination; check the ratio approaches it.
+	p := 1e6
+	limit := p * 1 * 3 / (1 + 3 + 0) // a²≈1/g1: snr ≈ p·g2·(g1/(g1+g2))
+	got := AFLinkSNR(p, 1, 3)
+	if math.Abs(got-limit)/limit > 0.01 {
+		t.Errorf("high-power AF SNR %v, want ≈ %v", got, limit)
+	}
+}
+
+func TestSimulateAFBERMatchesEffectiveSNRTheory(t *testing.T) {
+	// The central cross-validation: symbol-level AF simulation must match
+	// the closed-form effective-SNR BER used by the AF baseline analysis.
+	rng := rand.New(rand.NewSource(5))
+	tests := []struct {
+		m         Modulation
+		p, g1, g2 float64
+	}{
+		{BPSK, 5, 1, 2},
+		{QPSK, 10, 1, 3.16},
+		{QAM16, 50, 2, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.m.String(), func(t *testing.T) {
+			eff := AFLinkSNR(tt.p, tt.g1, tt.g2)
+			want, err := TheoreticalBER(tt.m, eff)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nBits := int(math.Max(2e5, 1000/math.Max(want, 1e-6)))
+			if nBits > 4e6 {
+				nBits = 4e6
+			}
+			got, err := SimulateAFBER(tt.m, tt.p, tt.g1, tt.g2, nBits, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 0.15*want+2e-4 {
+				t.Errorf("AF %v: simulated %v vs effective-SNR theory %v (eff snr %v)", tt.m, got, want, eff)
+			}
+		})
+	}
+}
+
+func TestSimulateAFBERValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := SimulateAFBER(BPSK, 1, 1, 1, 100, nil); err == nil {
+		t.Error("nil RNG should error")
+	}
+	if _, err := SimulateAFBER(BPSK, 0, 1, 1, 100, rng); err == nil {
+		t.Error("zero power should error")
+	}
+	if _, err := SimulateAFBER(BPSK, 1, 1, 1, 0, rng); err == nil {
+		t.Error("zero bits should error")
+	}
+	if _, err := SimulateAFBER(Modulation(9), 1, 1, 1, 100, rng); err == nil {
+		t.Error("unknown modulation should error")
+	}
+}

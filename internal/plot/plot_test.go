@@ -1,0 +1,175 @@
+package plot
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	var sb strings.Builder
+	c := Chart{
+		Title:  "test chart",
+		XLabel: "x",
+		YLabel: "y",
+		X:      []float64{0, 1, 2, 3},
+		Series: []Series{
+			{Name: "lin", Y: []float64{0, 1, 2, 3}},
+			{Name: "quad", Y: []float64{0, 1, 4, 9}},
+		},
+		Width:  40,
+		Height: 10,
+	}
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"test chart", "legend:", "* lin", "o quad", "9.000", "0.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Plot area lines have the expected width.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") {
+			inner := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+			if len(inner) != 40 {
+				t.Errorf("plot row width %d, want 40: %q", len(inner), line)
+			}
+		}
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := (Chart{}).Render(&sb); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty chart: err = %v", err)
+	}
+	bad := Chart{X: []float64{0, 1}, Series: []Series{{Name: "s", Y: []float64{1}}}}
+	if err := bad.Render(&sb); !errors.Is(err, ErrShape) {
+		t.Errorf("ragged chart: err = %v", err)
+	}
+	nan := Chart{X: []float64{0, 1}, Series: []Series{{Name: "s", Y: []float64{math.NaN(), math.NaN()}}}}
+	if err := nan.Render(&sb); !errors.Is(err, ErrNoData) {
+		t.Errorf("all-NaN chart: err = %v", err)
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	// A constant series must not divide by zero.
+	var sb strings.Builder
+	c := Chart{
+		X:      []float64{0, 1},
+		Series: []Series{{Name: "flat", Y: []float64{2, 2}}},
+	}
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	var sb strings.Builder
+	tab := Table{
+		Title:   "numbers",
+		Headers: []string{"name", "v1", "v2"},
+	}
+	tab.AddNumericRow("alpha", 1.5, 2.25)
+	tab.AddRow("beta", "x", "y")
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"numbers", "name", "alpha", "1.5000", "2.2500", "beta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("line count = %d, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := (Table{}).Render(&sb); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	c := Chart{
+		X: []float64{0, 0.5},
+		Series: []Series{
+			{Name: "plain", Y: []float64{1, 2}},
+			{Name: "with,comma", Y: []float64{3, 4}},
+		},
+	}
+	if err := c.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "x,plain,\"with,comma\"\n0,1,3\n0.5,2,4\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := (Chart{}).WriteCSV(&sb); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+	bad := Chart{X: []float64{0}, Series: []Series{{Name: "s", Y: nil}}}
+	if err := bad.WriteCSV(&sb); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestRegionPlot(t *testing.T) {
+	curve, err := CurveFromPairs("r1", []float64{0, 1, 2}, []float64{2, 1.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rp := RegionPlot{
+		Title:  "regions",
+		Curves: []RegionCurve{curve},
+		Width:  30,
+		Height: 12,
+	}
+	if err := rp.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"regions", "legend:", "* r1", "max 2.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegionPlotErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := (RegionPlot{}).Render(&sb); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+	if _, err := CurveFromPairs("bad", []float64{1}, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestRegionPlotDegenerate(t *testing.T) {
+	// All-zero curves must not divide by zero.
+	curve, err := CurveFromPairs("zero", []float64{0}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := (RegionPlot{Curves: []RegionCurve{curve}}).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}

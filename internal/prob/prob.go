@@ -1,0 +1,404 @@
+// Package prob implements finite discrete probability: probability mass
+// functions, joint distributions, entropies, and mutual informations. These
+// are the primitives behind the general (discrete memoryless) forms of the
+// paper's Theorems 2-6, where every bound is a sum of terms
+// Δℓ · I(X_S; Y_T | X_Sc, Q).
+//
+// Conventions: all entropies and informations are in bits. 0·log(0) is 0.
+// Distributions are dense float64 slices/matrices indexed by symbol.
+package prob
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// tol is the slack allowed when validating that probabilities sum to one.
+const tol = 1e-9
+
+// Errors returned by validation.
+var (
+	ErrEmpty         = errors.New("prob: empty distribution")
+	ErrNegative      = errors.New("prob: negative probability")
+	ErrNotNormalized = errors.New("prob: probabilities do not sum to 1")
+	ErrShape         = errors.New("prob: dimension mismatch")
+)
+
+// PMF is a probability mass function over the alphabet {0, ..., len-1}.
+type PMF []float64
+
+// NewUniform returns the uniform PMF over n symbols.
+func NewUniform(n int) PMF {
+	if n <= 0 {
+		return nil
+	}
+	p := make(PMF, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	return p
+}
+
+// NewPoint returns the degenerate PMF putting all mass on symbol k of an
+// n-symbol alphabet.
+func NewPoint(n, k int) PMF {
+	if n <= 0 || k < 0 || k >= n {
+		return nil
+	}
+	p := make(PMF, n)
+	p[k] = 1
+	return p
+}
+
+// NewBernoulli returns the PMF (1-p, p) over {0, 1}.
+func NewBernoulli(p float64) PMF {
+	return PMF{1 - p, p}
+}
+
+// Validate checks that p is a proper distribution.
+func (p PMF) Validate() error {
+	if len(p) == 0 {
+		return ErrEmpty
+	}
+	var sum float64
+	for i, v := range p {
+		if v < -tol {
+			return fmt.Errorf("%w: p[%d] = %g", ErrNegative, i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > tol {
+		return fmt.Errorf("%w: sum = %g", ErrNotNormalized, sum)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of p.
+func (p PMF) Clone() PMF {
+	out := make(PMF, len(p))
+	copy(out, p)
+	return out
+}
+
+// Normalize scales p in place to sum to one and returns it. A zero vector is
+// left unchanged.
+func (p PMF) Normalize() PMF {
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if sum <= 0 {
+		return p
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// Entropy returns H(p) in bits.
+func (p PMF) Entropy() float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log2(v)
+		}
+	}
+	return h
+}
+
+// Expect returns the expectation of f over p.
+func (p PMF) Expect(f func(i int) float64) float64 {
+	var e float64
+	for i, v := range p {
+		if v > 0 {
+			e += v * f(i)
+		}
+	}
+	return e
+}
+
+// KL returns the Kullback-Leibler divergence D(p || q) in bits. It is +Inf
+// when p has mass where q has none, and an error when shapes differ.
+func KL(p, q PMF) (float64, error) {
+	if len(p) != len(q) {
+		return 0, fmt.Errorf("%w: len(p)=%d len(q)=%d", ErrShape, len(p), len(q))
+	}
+	var d float64
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1), nil
+		}
+		d += p[i] * math.Log2(p[i]/q[i])
+	}
+	return d, nil
+}
+
+// Joint is a joint distribution p(x, y) over {0..nx-1} x {0..ny-1}, stored
+// row-major: P[x][y].
+type Joint struct {
+	P [][]float64
+}
+
+// NewJoint allocates an nx-by-ny joint distribution of zeros.
+func NewJoint(nx, ny int) Joint {
+	p := make([][]float64, nx)
+	buf := make([]float64, nx*ny)
+	for i := range p {
+		p[i], buf = buf[:ny:ny], buf[ny:]
+	}
+	return Joint{P: p}
+}
+
+// JointFromInputChannel builds the joint distribution p(x,y) = p(x)·W(y|x)
+// from an input PMF and a row-stochastic channel matrix W (W[x][y]).
+func JointFromInputChannel(px PMF, w [][]float64) (Joint, error) {
+	if len(px) != len(w) {
+		return Joint{}, fmt.Errorf("%w: input %d rows, channel %d rows", ErrShape, len(px), len(w))
+	}
+	if len(w) == 0 || len(w[0]) == 0 {
+		return Joint{}, ErrEmpty
+	}
+	ny := len(w[0])
+	j := NewJoint(len(px), ny)
+	for x := range w {
+		if len(w[x]) != ny {
+			return Joint{}, fmt.Errorf("%w: ragged channel row %d", ErrShape, x)
+		}
+		for y := 0; y < ny; y++ {
+			j.P[x][y] = px[x] * w[x][y]
+		}
+	}
+	return j, nil
+}
+
+// Nx returns the X-alphabet size.
+func (j Joint) Nx() int { return len(j.P) }
+
+// Ny returns the Y-alphabet size.
+func (j Joint) Ny() int {
+	if len(j.P) == 0 {
+		return 0
+	}
+	return len(j.P[0])
+}
+
+// Validate checks that j is a proper joint distribution.
+func (j Joint) Validate() error {
+	if j.Nx() == 0 || j.Ny() == 0 {
+		return ErrEmpty
+	}
+	var sum float64
+	for x, row := range j.P {
+		for y, v := range row {
+			if v < -tol {
+				return fmt.Errorf("%w: p[%d][%d] = %g", ErrNegative, x, y, v)
+			}
+			sum += v
+		}
+	}
+	if math.Abs(sum-1) > tol {
+		return fmt.Errorf("%w: sum = %g", ErrNotNormalized, sum)
+	}
+	return nil
+}
+
+// MarginalX returns p(x) = Σ_y p(x, y).
+func (j Joint) MarginalX() PMF {
+	out := make(PMF, j.Nx())
+	for x, row := range j.P {
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		out[x] = s
+	}
+	return out
+}
+
+// MarginalY returns p(y) = Σ_x p(x, y).
+func (j Joint) MarginalY() PMF {
+	out := make(PMF, j.Ny())
+	for _, row := range j.P {
+		for y, v := range row {
+			out[y] += v
+		}
+	}
+	return out
+}
+
+// EntropyJoint returns H(X, Y) in bits.
+func (j Joint) EntropyJoint() float64 {
+	var h float64
+	for _, row := range j.P {
+		for _, v := range row {
+			if v > 0 {
+				h -= v * math.Log2(v)
+			}
+		}
+	}
+	return h
+}
+
+// MutualInformation returns I(X; Y) = H(X) + H(Y) - H(X,Y) in bits, computed
+// directly from the joint for numerical robustness:
+// I = Σ p(x,y) log2( p(x,y) / (p(x)p(y)) ).
+func (j Joint) MutualInformation() float64 {
+	px := j.MarginalX()
+	py := j.MarginalY()
+	var mi float64
+	for x, row := range j.P {
+		for y, v := range row {
+			if v > 0 {
+				mi += v * math.Log2(v/(px[x]*py[y]))
+			}
+		}
+	}
+	// Tiny negative values can arise from rounding; information is >= 0.
+	if mi < 0 && mi > -1e-12 {
+		return 0
+	}
+	return mi
+}
+
+// ConditionalEntropyYgivenX returns H(Y | X) in bits.
+func (j Joint) ConditionalEntropyYgivenX() float64 {
+	return j.EntropyJoint() - j.MarginalX().Entropy()
+}
+
+// ConditionalEntropyXgivenY returns H(X | Y) in bits.
+func (j Joint) ConditionalEntropyXgivenY() float64 {
+	return j.EntropyJoint() - j.MarginalY().Entropy()
+}
+
+// Transpose returns the joint with the roles of X and Y swapped.
+func (j Joint) Transpose() Joint {
+	out := NewJoint(j.Ny(), j.Nx())
+	for x, row := range j.P {
+		for y, v := range row {
+			out.P[y][x] = v
+		}
+	}
+	return out
+}
+
+// Joint3 is a joint distribution p(x, y, z) over a triple of finite
+// alphabets, stored as P[x][y][z]. It supports the conditional mutual
+// information I(X; Y | Z) that appears throughout the paper's bounds.
+type Joint3 struct {
+	P [][][]float64
+}
+
+// NewJoint3 allocates an nx-by-ny-by-nz joint distribution of zeros.
+func NewJoint3(nx, ny, nz int) Joint3 {
+	p := make([][][]float64, nx)
+	for x := range p {
+		p[x] = make([][]float64, ny)
+		buf := make([]float64, ny*nz)
+		for y := range p[x] {
+			p[x][y], buf = buf[:nz:nz], buf[nz:]
+		}
+	}
+	return Joint3{P: p}
+}
+
+// Dims returns the three alphabet sizes.
+func (j Joint3) Dims() (nx, ny, nz int) {
+	nx = len(j.P)
+	if nx == 0 {
+		return 0, 0, 0
+	}
+	ny = len(j.P[0])
+	if ny == 0 {
+		return nx, 0, 0
+	}
+	return nx, ny, len(j.P[0][0])
+}
+
+// Validate checks that j is a proper distribution.
+func (j Joint3) Validate() error {
+	nx, ny, nz := j.Dims()
+	if nx == 0 || ny == 0 || nz == 0 {
+		return ErrEmpty
+	}
+	var sum float64
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				v := j.P[x][y][z]
+				if v < -tol {
+					return fmt.Errorf("%w: p[%d][%d][%d] = %g", ErrNegative, x, y, z, v)
+				}
+				sum += v
+			}
+		}
+	}
+	if math.Abs(sum-1) > tol {
+		return fmt.Errorf("%w: sum = %g", ErrNotNormalized, sum)
+	}
+	return nil
+}
+
+// MarginalZ returns p(z).
+func (j Joint3) MarginalZ() PMF {
+	nx, ny, nz := j.Dims()
+	out := make(PMF, nz)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				out[z] += j.P[x][y][z]
+			}
+		}
+	}
+	return out
+}
+
+// MarginalXY returns the joint distribution of (X, Y) with Z summed out.
+func (j Joint3) MarginalXY() Joint {
+	nx, ny, nz := j.Dims()
+	out := NewJoint(nx, ny)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			for z := 0; z < nz; z++ {
+				out.P[x][y] += j.P[x][y][z]
+			}
+		}
+	}
+	return out
+}
+
+// ConditionalMI returns I(X; Y | Z) in bits:
+// Σ_z p(z) · I(X; Y | Z=z).
+func (j Joint3) ConditionalMI() float64 {
+	nx, ny, nz := j.Dims()
+	pz := j.MarginalZ()
+	var mi float64
+	for z := 0; z < nz; z++ {
+		if pz[z] <= 0 {
+			continue
+		}
+		slice := NewJoint(nx, ny)
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				slice.P[x][y] = j.P[x][y][z] / pz[z]
+			}
+		}
+		mi += pz[z] * slice.MutualInformation()
+	}
+	return mi
+}
+
+// ProductPMF returns the product distribution p(x)·q(y) as a Joint.
+func ProductPMF(p, q PMF) Joint {
+	j := NewJoint(len(p), len(q))
+	for x := range p {
+		for y := range q {
+			j.P[x][y] = p[x] * q[y]
+		}
+	}
+	return j
+}

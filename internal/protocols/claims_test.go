@@ -1,0 +1,238 @@
+package protocols
+
+// This file verifies the paper's headline findings (Section IV) as
+// executable assertions — the qualitative shape of Figs 3 and 4 and the
+// textual claims around them.
+
+import (
+	"math"
+	"testing"
+
+	"bicoop/internal/channel"
+	"bicoop/internal/xmath"
+)
+
+func TestMABCCapacityTightness(t *testing.T) {
+	// Theorem 2 is tight: the MABC inner and outer bounds must coincide for
+	// every scenario.
+	for _, pdb := range []float64{-10, -3, 0, 7, 14} {
+		s := testScenario(pdb)
+		inner, err := GaussianRegion(MABC, BoundInner, s, RegionOptions{Angles: 91})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outer, err := GaussianRegion(MABC, BoundOuter, s, RegionOptions{Angles: 91})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inner.SubsetOf(outer, 1e-7) || !outer.SubsetOf(inner, 1e-7) {
+			t.Errorf("P=%vdB: MABC inner and outer differ (capacity should be tight)", pdb)
+		}
+	}
+}
+
+func TestInnerInsideOuter(t *testing.T) {
+	// Achievability never exceeds the converse, for every protocol and
+	// scenario (for HBC the Gaussian outer is the heuristic independent-
+	// input evaluation, which still dominates the independent-input inner
+	// region by construction).
+	for _, pdb := range []float64{-5, 0, 5, 10} {
+		s := testScenario(pdb)
+		for _, p := range Protocols() {
+			inner, err := GaussianRegion(p, BoundInner, s, RegionOptions{Angles: 61})
+			if err != nil {
+				t.Fatal(err)
+			}
+			outerSpec := mustCompile(t, p, BoundOuter, s)
+			// Exact check via LP feasibility: every inner vertex must be
+			// feasible for the outer bound (polygon containment at finite
+			// angle resolution under-approximates the outer region, so it
+			// is not used here).
+			for _, v := range inner.Vertices() {
+				// Retract strictly inside to dodge boundary float noise.
+				pt := RatePair{Ra: v.Ra * (1 - 1e-9), Rb: v.Rb * (1 - 1e-9)}
+				feas, err := outerSpec.Feasible(pt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !feas {
+					t.Errorf("%v at P=%vdB: inner vertex %+v escapes outer bound", p, pdb, v)
+				}
+			}
+		}
+	}
+}
+
+func TestClaimHBCSumRateDominates(t *testing.T) {
+	// "the optimal sum rate of the HBC protocol is always greater than or
+	// equal to those of the other protocols since the MABC and TDBC
+	// protocols are special cases of the HBC protocol" — and strictly
+	// greater somewhere.
+	strictly := false
+	// Sweep both the Fig 4 gain point over power and the Fig 3 relay
+	// placement sweep.
+	var scenarios []Scenario
+	for _, pdb := range []float64{-10, -5, 0, 5, 10, 15, 20} {
+		scenarios = append(scenarios, testScenario(pdb))
+	}
+	for _, d := range []float64{0.2, 0.3, 0.5, 0.7} {
+		scenarios = append(scenarios, Scenario{
+			P: xmath.FromDB(15),
+			G: placementGains(d, 3),
+		})
+	}
+	for _, s := range scenarios {
+		cmp, err := CompareSumRates(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hbc := cmp.BySumRate[HBC]
+		mabc := cmp.BySumRate[MABC]
+		tdbc := cmp.BySumRate[TDBC]
+		if hbc < mabc-1e-7 || hbc < tdbc-1e-7 {
+			t.Errorf("HBC %v below MABC %v or TDBC %v at %+v", hbc, mabc, tdbc, s)
+		}
+		if hbc > math.Max(mabc, tdbc)+1e-4 {
+			strictly = true
+		}
+		// DT and Naive4 are baselines: HBC at least matches DT through the
+		// degenerate allocation only when the direct link is not dominant;
+		// no general ordering is asserted for them here.
+	}
+	if !strictly {
+		t.Error("HBC sum rate never strictly exceeded max(MABC, TDBC); the paper finds it does in some regimes")
+	}
+}
+
+func TestClaimMABCTDBCCrossover(t *testing.T) {
+	// "in the low SNR regime, the MABC protocol dominates the TDBC
+	// protocol, while the latter is better in the high SNR regime."
+	low := testScenario(0)
+	high := testScenario(20)
+	cmpLow, err := CompareSumRates(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmpHigh, err := CompareSumRates(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmpLow.BySumRate[MABC] <= cmpLow.BySumRate[TDBC] {
+		t.Errorf("low SNR: MABC %v should dominate TDBC %v",
+			cmpLow.BySumRate[MABC], cmpLow.BySumRate[TDBC])
+	}
+	if cmpHigh.BySumRate[TDBC] <= cmpHigh.BySumRate[MABC] {
+		t.Errorf("high SNR: TDBC %v should dominate MABC %v",
+			cmpHigh.BySumRate[TDBC], cmpHigh.BySumRate[MABC])
+	}
+}
+
+func TestClaimHBCOutsideOuterBounds(t *testing.T) {
+	// "Surprisingly, we find that in some cases, the achievable rate region
+	// of the four phase protocol contains points that are outside the outer
+	// bounds of the other two protocols."
+	found := false
+	for _, pdb := range []float64{0, 5, 10, 15} {
+		esc, err := HBCEscapePoints(testScenario(pdb), RegionOptions{Angles: 121})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range esc {
+			if e.Margin > 1e-3 {
+				found = true
+				// Escape witnesses must genuinely be achievable HBC points.
+				spec := mustCompile(t, HBC, BoundInner, testScenario(pdb))
+				feas, err := spec.Feasible(RatePair{Ra: e.Point.Ra, Rb: e.Point.Rb})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !feas {
+					t.Errorf("P=%vdB: escape witness %+v is not HBC-achievable", pdb, e.Point)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no HBC points found outside both MABC and TDBC outer bounds")
+	}
+}
+
+func TestClaimMABCvsTDBCRegionsLowHighSNR(t *testing.T) {
+	// Fig 4's qualitative shape: at low SNR the MABC region contains most
+	// of the TDBC region (MABC sum-rate corner dominates); at high SNR the
+	// TDBC region pushes past MABC. Compare via max sum rate and area.
+	low := testScenario(0)
+	high := testScenario(10)
+	mabcLow, err := GaussianRegion(MABC, BoundInner, low, RegionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdbcLow, err := GaussianRegion(TDBC, BoundInner, low, RegionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mabcLow.Area() <= tdbcLow.Area() {
+		t.Errorf("P=0dB: MABC area %v should exceed TDBC area %v", mabcLow.Area(), tdbcLow.Area())
+	}
+	mabcHigh, err := GaussianRegion(MABC, BoundInner, high, RegionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdbcHigh, err := GaussianRegion(TDBC, BoundInner, high, RegionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 10 dB (Fig 4 bottom) TDBC has not yet overtaken MABC in sum rate
+	// at these gains, but the regions must already be non-nested: each
+	// protocol achieves points the other cannot.
+	tdbcEscapes := tdbcHigh.PointsOutside(1e-7, mabcHigh)
+	mabcEscapes := mabcHigh.PointsOutside(1e-7, tdbcHigh)
+	if len(tdbcEscapes) == 0 && len(mabcEscapes) == 0 {
+		t.Error("P=10dB: expected MABC and TDBC regions to be non-nested")
+	}
+}
+
+func TestFig3ShapeRelayPlacement(t *testing.T) {
+	// Shape checks of the Fig 3 reproduction: symmetric in the relay
+	// position, HBC strictly above both MABC and TDBC somewhere, TDBC
+	// peaking at the midpoint, MABC dipping at the midpoint (its MAC sum
+	// constraint binds hardest there at high SNR).
+	p := xmath.FromDB(15)
+	sum := func(proto Protocol, d float64) float64 {
+		res, err := OptimalSumRate(proto, BoundInner, Scenario{P: p, G: placementGains(d, 3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Sum
+	}
+	for _, d := range []float64{0.2, 0.35} {
+		for _, proto := range Protocols() {
+			a, b := sum(proto, d), sum(proto, 1-d)
+			if !xmath.ApproxEqual(a, b, 1e-6) {
+				t.Errorf("%v: sum rate asymmetric: f(%v)=%v, f(%v)=%v", proto, d, a, 1-d, b)
+			}
+		}
+	}
+	strict := false
+	for _, d := range []float64{0.25, 0.3, 0.35} {
+		h, m, td := sum(HBC, d), sum(MABC, d), sum(TDBC, d)
+		if h > math.Max(m, td)+1e-4 {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Error("HBC not strictly best anywhere in the placement sweep")
+	}
+	if sum(TDBC, 0.5) <= sum(TDBC, 0.15) {
+		t.Error("TDBC should prefer a central relay")
+	}
+}
+
+// placementGains maps a relay position to line-geometry gains with Gab = 1.
+func placementGains(d, gamma float64) channel.Gains {
+	return channel.Gains{
+		AB: 1,
+		AR: math.Pow(d, -gamma),
+		BR: math.Pow(1-d, -gamma),
+	}
+}

@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bicoop/internal/gf2"
+	"bicoop/internal/netcode"
+	"bicoop/internal/protocols"
+)
+
+// ErasureNetwork instantiates the paper's three-node half-duplex network
+// with binary erasure links: link (i,j) delivers each transmitted bit with
+// probability 1-ε(i,j), so its per-use mutual information is 1-ε. The
+// channels are reciprocal, mirroring the Gaussian model.
+type ErasureNetwork struct {
+	// EpsAR, EpsBR, EpsAB are the erasure probabilities of the a-r, b-r and
+	// a-b links.
+	EpsAR, EpsBR, EpsAB float64
+}
+
+// Validate checks the erasure probabilities.
+func (n ErasureNetwork) Validate() error {
+	for _, e := range []float64{n.EpsAR, n.EpsBR, n.EpsAB} {
+		if e < 0 || e > 1 || math.IsNaN(e) {
+			return fmt.Errorf("sim: erasure probability %g out of [0,1]", e)
+		}
+	}
+	return nil
+}
+
+// LinkInfos maps the erasure network to the mutual-information terms of the
+// protocol theorems: every point-to-point term is 1-ε, the broadcast
+// observations are independent, and the SIMO terms combine erasures as
+// 1-ε1·ε2 (the bit survives unless both copies are erased). The MAC terms
+// are not meaningful for this orthogonal-erasure abstraction and are set to
+// the values that make TDBC — the protocol the bit-true simulator executes —
+// exactly evaluable.
+func (n ErasureNetwork) LinkInfos() protocols.LinkInfos {
+	return protocols.LinkInfos{
+		AtoR:       1 - n.EpsAR,
+		BtoR:       1 - n.EpsBR,
+		AtoB:       1 - n.EpsAB,
+		BtoA:       1 - n.EpsAB,
+		RtoA:       1 - n.EpsAR,
+		RtoB:       1 - n.EpsBR,
+		MACAGivenB: 1 - n.EpsAR,
+		MACBGivenA: 1 - n.EpsBR,
+		MACSum:     math.Max(1-n.EpsAR, 1-n.EpsBR),
+		AtoRB:      1 - n.EpsAR*n.EpsAB,
+		BtoRA:      1 - n.EpsBR*n.EpsAB,
+	}
+}
+
+// BitTrueConfig parameterizes a bit-true TDBC run.
+type BitTrueConfig struct {
+	// Net is the erasure network.
+	Net ErasureNetwork
+	// Rates is the target message rate pair in bits per channel use.
+	Rates protocols.RatePair
+	// Durations are the phase durations (3 entries summing to 1). Nil asks
+	// the simulator to derive them from the TDBC inner bound via LP.
+	Durations []float64
+	// BlockLength is the total number of channel uses n.
+	BlockLength int
+	// Trials is the number of independent blocks.
+	Trials int
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// BitTrueResult reports bit-true decoding outcomes.
+type BitTrueResult struct {
+	// SuccessProb is the fraction of blocks where both terminals recovered
+	// the peer message exactly.
+	SuccessProb float64
+	// RelayFailures counts blocks lost because the relay could not decode.
+	RelayFailures int
+	// TerminalFailures counts blocks lost at a terminal despite relay
+	// success.
+	TerminalFailures int
+	// Trials echoes the configured trial count.
+	Trials int
+	// Durations echoes the durations used (after LP derivation if any).
+	Durations []float64
+}
+
+// ErrInfeasibleRates is returned when no durations support the target rates.
+var ErrInfeasibleRates = errors.New("sim: target rates outside the TDBC inner bound")
+
+// RunBitTrueTDBC executes the TDBC protocol bit by bit: random linear codes
+// at all three encoders, random erasures on every link, overheard side
+// information retained at the terminals, XOR network coding at the relay
+// (zero-padded to the longer message per the paper's group construction),
+// and Gaussian-elimination decoding that pools all equations a node holds.
+func RunBitTrueTDBC(cfg BitTrueConfig) (BitTrueResult, error) {
+	if err := cfg.Net.Validate(); err != nil {
+		return BitTrueResult{}, err
+	}
+	if cfg.BlockLength <= 0 {
+		return BitTrueResult{}, fmt.Errorf("sim: block length %d", cfg.BlockLength)
+	}
+	if cfg.Trials <= 0 {
+		return BitTrueResult{}, ErrNoTrials
+	}
+	if cfg.Rates.Ra < 0 || cfg.Rates.Rb < 0 {
+		return BitTrueResult{}, fmt.Errorf("sim: negative rates %+v", cfg.Rates)
+	}
+
+	durations := cfg.Durations
+	if durations == nil {
+		spec, err := protocols.Compile(protocols.TDBC, protocols.BoundInner, cfg.Net.LinkInfos())
+		if err != nil {
+			return BitTrueResult{}, err
+		}
+		durations, err = spec.DurationsFor(cfg.Rates)
+		if err != nil {
+			return BitTrueResult{}, fmt.Errorf("%w: %v", ErrInfeasibleRates, err)
+		}
+	}
+	if len(durations) != 3 {
+		return BitTrueResult{}, fmt.Errorf("sim: TDBC needs 3 durations, got %d", len(durations))
+	}
+
+	n := cfg.BlockLength
+	n1 := int(math.Round(durations[0] * float64(n)))
+	n2 := int(math.Round(durations[1] * float64(n)))
+	n3 := n - n1 - n2
+	if n3 < 0 {
+		n3 = 0
+	}
+	ka := int(math.Floor(cfg.Rates.Ra * float64(n)))
+	kb := int(math.Floor(cfg.Rates.Rb * float64(n)))
+	if ka == 0 && kb == 0 {
+		return BitTrueResult{}, fmt.Errorf("sim: block length %d too short for rates %+v", n, cfg.Rates)
+	}
+	kr := ka
+	if kb > kr {
+		kr = kb
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := BitTrueResult{Trials: cfg.Trials, Durations: durations}
+	successes := 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		ok, relayOK := runOneTDBCBlock(cfg.Net, ka, kb, kr, n1, n2, n3, rng)
+		if ok {
+			successes++
+			continue
+		}
+		if !relayOK {
+			res.RelayFailures++
+		} else {
+			res.TerminalFailures++
+		}
+	}
+	res.SuccessProb = float64(successes) / float64(cfg.Trials)
+	return res, nil
+}
+
+// runOneTDBCBlock simulates one block. Returns (success, relayDecoded).
+func runOneTDBCBlock(net ErasureNetwork, ka, kb, kr, n1, n2, n3 int, rng *rand.Rand) (bool, bool) {
+	wa := gf2.RandomVector(ka, rng)
+	wb := gf2.RandomVector(kb, rng)
+
+	// Phase 1: a broadcasts n1 random parities of wa; r and b erase
+	// independently.
+	codeA := gf2.NewCode(n1, ka, rng)
+	xa, _ := codeA.Encode(wa)
+	var relayRowsA []gf2.Vector
+	var relayBitsA []int
+	var bSideRows []gf2.Vector
+	var bSideBits []int
+	for i := 0; i < n1; i++ {
+		if rng.Float64() >= net.EpsAR {
+			relayRowsA = append(relayRowsA, codeA.G.Row(i))
+			relayBitsA = append(relayBitsA, xa.Bit(i))
+		}
+		if rng.Float64() >= net.EpsAB {
+			bSideRows = append(bSideRows, codeA.G.Row(i))
+			bSideBits = append(bSideBits, xa.Bit(i))
+		}
+	}
+
+	// Phase 2: b broadcasts n2 random parities of wb; r and a erase
+	// independently.
+	codeB := gf2.NewCode(n2, kb, rng)
+	xb, _ := codeB.Encode(wb)
+	var relayRowsB []gf2.Vector
+	var relayBitsB []int
+	var aSideRows []gf2.Vector
+	var aSideBits []int
+	for i := 0; i < n2; i++ {
+		if rng.Float64() >= net.EpsBR {
+			relayRowsB = append(relayRowsB, codeB.G.Row(i))
+			relayBitsB = append(relayBitsB, xb.Bit(i))
+		}
+		if rng.Float64() >= net.EpsAB {
+			aSideRows = append(aSideRows, codeB.G.Row(i))
+			aSideBits = append(aSideBits, xb.Bit(i))
+		}
+	}
+
+	// Relay decodes both messages (decode-and-forward).
+	decA, errA := gf2.DecodeEquations(ka, relayRowsA, relayBitsA)
+	decB, errB := gf2.DecodeEquations(kb, relayRowsB, relayBitsB)
+	if errA != nil || errB != nil || !decA.Equal(wa) || !decB.Equal(wb) {
+		return false, false
+	}
+
+	// Relay XOR-combines in Z_2^kr (zero-padded) and broadcasts n3 random
+	// parities of wr.
+	wr := netcode.PadCombine(decA, decB)
+	codeR := gf2.NewCode(n3, kr, rng)
+	xr, _ := codeR.Encode(wr)
+
+	// Each terminal converts every surviving relay parity g·wr into an
+	// equation about the peer message: wr = pad(wa) ⊕ pad(wb), so
+	// g·pad(wb) = bit ⊕ g·pad(wa) at node a (which knows wa), and
+	// symmetrically at node b. Since pad(w) is zero above the message
+	// length, the effective row is g truncated to the peer's length.
+	padWa := netcode.PadCombine(wa, gf2.NewVector(kr)) // wa zero-padded to kr
+	padWb := netcode.PadCombine(wb, gf2.NewVector(kr))
+	rowsForA := append([]gf2.Vector(nil), aSideRows...)
+	bitsForA := append([]int(nil), aSideBits...)
+	rowsForB := append([]gf2.Vector(nil), bSideRows...)
+	bitsForB := append([]int(nil), bSideBits...)
+	for i := 0; i < n3; i++ {
+		row := codeR.G.Row(i)
+		bit := xr.Bit(i)
+		// a hears the relay through the a-r link.
+		if rng.Float64() >= net.EpsAR {
+			rowsForA = append(rowsForA, truncate(row, kb))
+			bitsForA = append(bitsForA, bit^dot(row, padWa))
+		}
+		// b hears the relay through the b-r link.
+		if rng.Float64() >= net.EpsBR {
+			rowsForB = append(rowsForB, truncate(row, ka))
+			bitsForB = append(bitsForB, bit^dot(row, padWb))
+		}
+	}
+
+	gotB, errA2 := gf2.DecodeEquations(kb, rowsForA, bitsForA)
+	if errA2 != nil || !gotB.Equal(wb) {
+		return false, true
+	}
+	gotA, errB2 := gf2.DecodeEquations(ka, rowsForB, bitsForB)
+	if errB2 != nil || !gotA.Equal(wa) {
+		return false, true
+	}
+	return true, true
+}
+
+// dot returns the GF(2) inner product of two equal-length vectors.
+func dot(a, b gf2.Vector) int {
+	var acc int
+	for i := 0; i < a.Len() && i < b.Len(); i++ {
+		acc ^= a.Bit(i) & b.Bit(i)
+	}
+	return acc
+}
+
+// truncate returns the first k coordinates of v as a fresh vector.
+func truncate(v gf2.Vector, k int) gf2.Vector {
+	out := gf2.NewVector(k)
+	for i := 0; i < k && i < v.Len(); i++ {
+		out.Set(i, v.Bit(i))
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bicoop/internal/gf2"
+	"bicoop/internal/stats"
+)
+
+// MABCBitTrueConfig parameterizes the bit-true two-phase compute-and-forward
+// simulation. It realizes the remark after Theorem 2: the relay is NOT
+// required to decode both messages — it decodes only the XOR wa ⊕ wb and
+// rebroadcasts it, which the erasure abstraction of the multiple-access
+// phase makes exact: when both terminals transmit the same random linear
+// code's parities of their own messages simultaneously, the relay observes
+// the parity of the XOR (physical-layer network coding), erased with
+// probability EpsMAC.
+type MABCBitTrueConfig struct {
+	// EpsMAC is the erasure probability of the multiple-access phase at the
+	// relay; EpsRA and EpsRB are the broadcast-phase erasure probabilities
+	// of the r-a and r-b links.
+	EpsMAC, EpsRA, EpsRB float64
+	// Rate is the common per-terminal message rate (bits per channel use);
+	// compute-and-forward requires equal-length messages.
+	Rate float64
+	// Durations are the two phase durations; nil derives the optimal split
+	// from the rate constraints.
+	Durations []float64
+	// BlockLength is the total number of channel uses.
+	BlockLength int
+	// Trials is the number of independent blocks.
+	Trials int
+	// Seed drives the run deterministically.
+	Seed int64
+	// Confidence for the reported success interval (default 0.95).
+	Confidence float64
+}
+
+// MABCBitTrueResult reports the outcome with a confidence interval.
+type MABCBitTrueResult struct {
+	// SuccessProb is the fraction of blocks where both terminals recovered
+	// the peer message.
+	SuccessProb float64
+	// SuccessCI is the Wilson confidence interval on SuccessProb.
+	SuccessCI stats.Interval
+	// RelayFailures counts blocks where the relay could not decode the XOR.
+	RelayFailures int
+	// TerminalFailures counts blocks lost at a terminal after relay success.
+	TerminalFailures int
+	// Durations echoes the phase split used.
+	Durations []float64
+}
+
+// MABCComputeForwardBound returns the symmetric-rate bound of the
+// compute-and-forward MABC scheme on the erasure abstraction: the relay
+// needs Δ1·(1-EpsMAC) ≥ R to decode the XOR, and each terminal needs
+// Δ2·(1-eps_own_link) ≥ R to decode the broadcast, so
+//
+//	R* = max over Δ of min(Δ·(1-EpsMAC), (1-Δ)·(1-EpsRA), (1-Δ)·(1-EpsRB)).
+//
+// Dropping the relay's decode-both requirement is exactly what removes
+// Theorem 2's MAC sum constraint (the paper's remark); the per-user
+// constraints keep the same shape.
+func MABCComputeForwardBound(epsMAC, epsRA, epsRB float64) (rate float64, durations []float64) {
+	cMAC := 1 - epsMAC
+	cBC := math.Min(1-epsRA, 1-epsRB)
+	if cMAC <= 0 || cBC <= 0 {
+		return 0, []float64{0.5, 0.5}
+	}
+	// min(Δ·cMAC, (1-Δ)·cBC) is maximized where the two meet.
+	d1 := cBC / (cMAC + cBC)
+	return d1 * cMAC, []float64{d1, 1 - d1}
+}
+
+// RunBitTrueMABC executes the compute-and-forward MABC protocol bit by bit.
+func RunBitTrueMABC(cfg MABCBitTrueConfig) (MABCBitTrueResult, error) {
+	for _, e := range []float64{cfg.EpsMAC, cfg.EpsRA, cfg.EpsRB} {
+		if e < 0 || e > 1 || math.IsNaN(e) {
+			return MABCBitTrueResult{}, fmt.Errorf("sim: erasure probability %g out of [0,1]", e)
+		}
+	}
+	if cfg.BlockLength <= 0 {
+		return MABCBitTrueResult{}, fmt.Errorf("sim: block length %d", cfg.BlockLength)
+	}
+	if cfg.Trials <= 0 {
+		return MABCBitTrueResult{}, ErrNoTrials
+	}
+	if cfg.Rate <= 0 {
+		return MABCBitTrueResult{}, fmt.Errorf("sim: rate %g must be positive", cfg.Rate)
+	}
+	durations := cfg.Durations
+	if durations == nil {
+		_, durations = MABCComputeForwardBound(cfg.EpsMAC, cfg.EpsRA, cfg.EpsRB)
+	}
+	if len(durations) != 2 {
+		return MABCBitTrueResult{}, fmt.Errorf("sim: MABC needs 2 durations, got %d", len(durations))
+	}
+	n := cfg.BlockLength
+	n1 := int(math.Round(durations[0] * float64(n)))
+	n2 := n - n1
+	k := int(math.Floor(cfg.Rate * float64(n)))
+	if k == 0 {
+		return MABCBitTrueResult{}, fmt.Errorf("sim: block length %d too short for rate %g", n, cfg.Rate)
+	}
+	conf := cfg.Confidence
+	if conf <= 0 {
+		conf = 0.95
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := MABCBitTrueResult{Durations: durations}
+	successes := 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		ok, relayOK := runOneMABCBlock(cfg, k, n1, n2, rng)
+		if ok {
+			successes++
+			continue
+		}
+		if !relayOK {
+			res.RelayFailures++
+		} else {
+			res.TerminalFailures++
+		}
+	}
+	res.SuccessProb = float64(successes) / float64(cfg.Trials)
+	ci, err := stats.WilsonInterval(successes, cfg.Trials, conf)
+	if err != nil {
+		return MABCBitTrueResult{}, err
+	}
+	res.SuccessCI = ci
+	return res, nil
+}
+
+// runOneMABCBlock simulates one block. Returns (success, relayDecoded).
+func runOneMABCBlock(cfg MABCBitTrueConfig, k, n1, n2 int, rng *rand.Rand) (bool, bool) {
+	wa := gf2.RandomVector(k, rng)
+	wb := gf2.RandomVector(k, rng)
+	s, _ := wa.Xor(wb)
+
+	// Phase 1 (MAC): both terminals encode with the SAME shared generator
+	// (agreed via common randomness, as in physical-layer network coding);
+	// the relay observes parities of the XOR message through erasures.
+	codeMAC := gf2.NewCode(n1, k, rng)
+	xs, _ := codeMAC.Encode(s) // equals Encode(wa) xor Encode(wb) by linearity
+	var relayRows []gf2.Vector
+	var relayBits []int
+	for i := 0; i < n1; i++ {
+		if rng.Float64() >= cfg.EpsMAC {
+			relayRows = append(relayRows, codeMAC.G.Row(i))
+			relayBits = append(relayBits, xs.Bit(i))
+		}
+	}
+	sHat, err := gf2.DecodeEquations(k, relayRows, relayBits)
+	if err != nil || !sHat.Equal(s) {
+		return false, false
+	}
+
+	// Phase 2 (broadcast): the relay re-encodes the XOR with a fresh code;
+	// each terminal decodes it through its own link's erasures and strips
+	// its own message.
+	codeBC := gf2.NewCode(n2, k, rng)
+	xr, _ := codeBC.Encode(sHat)
+	decodeAt := func(eps float64) (gf2.Vector, bool) {
+		var rows []gf2.Vector
+		var bits []int
+		for i := 0; i < n2; i++ {
+			if rng.Float64() >= eps {
+				rows = append(rows, codeBC.G.Row(i))
+				bits = append(bits, xr.Bit(i))
+			}
+		}
+		got, err := gf2.DecodeEquations(k, rows, bits)
+		return got, err == nil
+	}
+	sAtA, okA := decodeAt(cfg.EpsRA)
+	sAtB, okB := decodeAt(cfg.EpsRB)
+	if !okA || !okB {
+		return false, true
+	}
+	gotB, _ := sAtA.Xor(wa) // terminal a strips wa
+	gotA, _ := sAtB.Xor(wb) // terminal b strips wb
+	return gotB.Equal(wb) && gotA.Equal(wa), true
+}

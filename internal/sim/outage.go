@@ -1,0 +1,177 @@
+// Package sim provides the Monte Carlo layer of the reproduction: a
+// quasi-static Rayleigh block-fading simulator for the Gaussian model of
+// Section IV (ergodic adaptive-rate throughput and fixed-rate outage), and a
+// bit-true simulator of the TDBC protocol over an erasure network that
+// executes the actual random-coding/binning/XOR machinery of Theorem 3 with
+// random linear codes.
+//
+// All simulators are deterministic given a seed: trials are sharded across a
+// bounded worker pool, each worker owning a private RNG derived from the
+// seed, and partial results are merged after the pool drains.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"bicoop/internal/channel"
+	"bicoop/internal/protocols"
+)
+
+// Errors returned by this package.
+var (
+	ErrNoTrials  = errors.New("sim: trials must be positive")
+	ErrNoTargets = errors.New("sim: no protocols requested")
+)
+
+// OutageConfig parameterizes a fading Monte Carlo run.
+type OutageConfig struct {
+	// Mean holds the mean link gains; per block, each link fades
+	// independently (Rayleigh) around its mean.
+	Mean channel.Gains
+	// P is the per-node transmit power.
+	P float64
+	// Protocols to simulate (inner bounds). Empty is an error.
+	Protocols []protocols.Protocol
+	// Target is the fixed rate pair used for outage probability; a zero
+	// pair disables outage accounting.
+	Target protocols.RatePair
+	// Trials is the number of fading blocks.
+	Trials int
+	// Seed makes the run reproducible.
+	Seed int64
+	// Workers bounds the worker pool; non-positive means GOMAXPROCS.
+	Workers int
+}
+
+// OutageStats aggregates per-protocol results of a run.
+type OutageStats struct {
+	// MeanOptSumRate is the mean over fading blocks of the CSI-adaptive
+	// optimal sum rate (the expected throughput of a system that re-solves
+	// the duration LP every block).
+	MeanOptSumRate float64
+	// OutageProb is the fraction of blocks in which the fixed Target rate
+	// pair was infeasible. Zero if no target was set.
+	OutageProb float64
+	// Trials echoes the trial count for downstream confidence intervals.
+	Trials int
+}
+
+// OutageResult is the full result of RunOutage.
+type OutageResult struct {
+	ByProtocol map[protocols.Protocol]OutageStats
+}
+
+// RunOutage executes the fading Monte Carlo.
+func RunOutage(cfg OutageConfig) (OutageResult, error) {
+	if cfg.Trials <= 0 {
+		return OutageResult{}, ErrNoTrials
+	}
+	if len(cfg.Protocols) == 0 {
+		return OutageResult{}, ErrNoTargets
+	}
+	if err := (protocols.Scenario{P: cfg.P, G: cfg.Mean}).Validate(); err != nil {
+		return OutageResult{}, fmt.Errorf("sim: %w", err)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	hasTarget := cfg.Target.Ra > 0 || cfg.Target.Rb > 0
+
+	type partial struct {
+		sum     map[protocols.Protocol]float64
+		outages map[protocols.Protocol]int
+		trials  int
+		err     error
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := cfg.Trials * w / workers
+		hi := cfg.Trials * (w + 1) / workers
+		wg.Add(1)
+		go func(w, count int) {
+			defer wg.Done()
+			pt := partial{
+				sum:     make(map[protocols.Protocol]float64, len(cfg.Protocols)),
+				outages: make(map[protocols.Protocol]int, len(cfg.Protocols)),
+			}
+			// Derive a distinct, deterministic stream per worker.
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*0x9e3779b9))
+			fading, err := channel.NewFading(cfg.Mean, rng)
+			if err != nil {
+				pt.err = err
+				parts[w] = pt
+				return
+			}
+			for i := 0; i < count; i++ {
+				inst := fading.Draw()
+				s := protocols.Scenario{P: cfg.P, G: inst}
+				for _, proto := range cfg.Protocols {
+					spec, err := protocols.CompileGaussian(proto, protocols.BoundInner, s)
+					if err != nil {
+						pt.err = err
+						parts[w] = pt
+						return
+					}
+					opt, err := spec.MaxSumRate()
+					if err != nil {
+						pt.err = err
+						parts[w] = pt
+						return
+					}
+					pt.sum[proto] += opt.Objective
+					if hasTarget {
+						feas, err := spec.Feasible(cfg.Target)
+						if err != nil {
+							pt.err = err
+							parts[w] = pt
+							return
+						}
+						if !feas {
+							pt.outages[proto]++
+						}
+					}
+				}
+				pt.trials++
+			}
+			parts[w] = pt
+		}(w, hi-lo)
+	}
+	wg.Wait()
+
+	out := OutageResult{ByProtocol: make(map[protocols.Protocol]OutageStats, len(cfg.Protocols))}
+	total := 0
+	sums := make(map[protocols.Protocol]float64, len(cfg.Protocols))
+	outs := make(map[protocols.Protocol]int, len(cfg.Protocols))
+	for _, pt := range parts {
+		if pt.err != nil {
+			return OutageResult{}, fmt.Errorf("sim: worker failed: %w", pt.err)
+		}
+		total += pt.trials
+		for k, v := range pt.sum {
+			sums[k] += v
+		}
+		for k, v := range pt.outages {
+			outs[k] += v
+		}
+	}
+	for _, proto := range cfg.Protocols {
+		st := OutageStats{
+			MeanOptSumRate: sums[proto] / float64(total),
+			Trials:         total,
+		}
+		if hasTarget {
+			st.OutageProb = float64(outs[proto]) / float64(total)
+		}
+		out.ByProtocol[proto] = st
+	}
+	return out, nil
+}

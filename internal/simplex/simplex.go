@@ -1,0 +1,338 @@
+// Package simplex implements a small dense linear-programming solver used to
+// optimize the phase durations Δℓ of the paper's protocols (Section IV:
+// "Linear programming may then be used to find optimal time durations").
+//
+// The solver is a textbook two-phase primal simplex on the standard form
+//
+//	maximize    c·x
+//	subject to  A_ub·x ≤ b_ub,  A_eq·x = b_eq,  x ≥ 0,
+//
+// with Bland's rule for anti-cycling. The LPs in this module are tiny (at
+// most a dozen variables and constraints), so clarity is preferred over
+// sparse-matrix machinery.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	// StatusOptimal means an optimal basic feasible solution was found.
+	StatusOptimal Status = iota + 1
+	// StatusInfeasible means the constraints admit no solution.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded above.
+	StatusUnbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("simplex: infeasible")
+	ErrUnbounded  = errors.New("simplex: unbounded")
+	ErrShape      = errors.New("simplex: dimension mismatch")
+	ErrCycle      = errors.New("simplex: iteration limit exceeded")
+)
+
+// Problem is a linear program in standard inequality/equality form over
+// non-negative variables.
+type Problem struct {
+	// C is the objective row: maximize C·x.
+	C []float64
+	// AUb and BUb give inequality rows AUb[i]·x ≤ BUb[i].
+	AUb [][]float64
+	BUb []float64
+	// AEq and BEq give equality rows AEq[i]·x = BEq[i].
+	AEq [][]float64
+	BEq []float64
+}
+
+// Solution is an optimal LP solution.
+type Solution struct {
+	// X is the optimal primal point.
+	X []float64
+	// Objective is C·X.
+	Objective float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+const (
+	pivotTol   = 1e-9
+	feasTol    = 1e-7
+	iterFactor = 200 // iteration cap multiplier on (rows + cols)
+)
+
+// Solve maximizes the problem and returns the optimal solution. It returns
+// ErrInfeasible or ErrUnbounded wrapped with context when the LP has no
+// optimum.
+func (p Problem) Solve() (Solution, error) {
+	n := len(p.C)
+	if n == 0 {
+		return Solution{}, fmt.Errorf("%w: empty objective", ErrShape)
+	}
+	for i, row := range p.AUb {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("%w: AUb row %d has %d entries, want %d", ErrShape, i, len(row), n)
+		}
+	}
+	for i, row := range p.AEq {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("%w: AEq row %d has %d entries, want %d", ErrShape, i, len(row), n)
+		}
+	}
+	if len(p.AUb) != len(p.BUb) || len(p.AEq) != len(p.BEq) {
+		return Solution{}, fmt.Errorf("%w: rows %d/%d vs rhs %d/%d", ErrShape, len(p.AUb), len(p.AEq), len(p.BUb), len(p.BEq))
+	}
+
+	t := newTableau(p)
+	if err := t.phase1(); err != nil {
+		return Solution{}, err
+	}
+	if err := t.phase2(); err != nil {
+		return Solution{}, err
+	}
+	return t.solution(), nil
+}
+
+// tableau holds the dense simplex tableau. Columns are laid out as
+// [structural vars | slack vars | artificial vars | RHS]; the last two rows
+// are the phase-2 objective and the phase-1 objective.
+type tableau struct {
+	rows      [][]float64 // constraint rows
+	obj       []float64   // phase-2 objective row (reduced costs)
+	art       []float64   // phase-1 objective row
+	basis     []int       // basic variable of each row
+	nStruct   int
+	nSlack    int
+	nArt      int
+	nCols     int // total variable columns (excludes RHS)
+	iterCount int
+}
+
+func newTableau(p Problem) *tableau {
+	nStruct := len(p.C)
+	nSlack := len(p.AUb)
+	mRows := len(p.AUb) + len(p.AEq)
+
+	// Artificial variables: one per equality row and per inequality row with
+	// negative RHS (after sign flip those become ≥ rows needing artificials).
+	// For simplicity every row receives an artificial; phase 1 drives them
+	// out. This is slightly wasteful but robust, and the LPs here are tiny.
+	nArt := mRows
+	nCols := nStruct + nSlack + nArt
+
+	t := &tableau{
+		rows:    make([][]float64, mRows),
+		obj:     make([]float64, nCols+1),
+		art:     make([]float64, nCols+1),
+		basis:   make([]int, mRows),
+		nStruct: nStruct,
+		nSlack:  nSlack,
+		nArt:    nArt,
+		nCols:   nCols,
+	}
+
+	for i := 0; i < mRows; i++ {
+		row := make([]float64, nCols+1)
+		var src []float64
+		var rhs float64
+		if i < len(p.AUb) {
+			src, rhs = p.AUb[i], p.BUb[i]
+		} else {
+			src, rhs = p.AEq[i-len(p.AUb)], p.BEq[i-len(p.AUb)]
+		}
+		copy(row, src)
+		if i < len(p.AUb) {
+			row[nStruct+i] = 1 // slack
+		}
+		row[nCols] = rhs
+		// Normalize to a non-negative RHS so the artificial basis is feasible.
+		if row[nCols] < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+		}
+		row[nStruct+nSlack+i] = 1 // artificial
+		t.rows[i] = row
+		t.basis[i] = nStruct + nSlack + i
+	}
+
+	// Phase-2 objective (stored negated: we minimize -c·x).
+	for j := 0; j < nStruct; j++ {
+		t.obj[j] = -p.C[j]
+	}
+	// Phase-1 objective: minimize the sum of artificials. Express the reduced
+	// costs with the artificial basis priced out.
+	for j := 0; j <= nCols; j++ {
+		var s float64
+		for i := range t.rows {
+			s += t.rows[i][j]
+		}
+		t.art[j] = -s
+	}
+	for i := range t.rows {
+		t.art[t.basis[i]] = 0
+	}
+	return t
+}
+
+func (t *tableau) maxIter() int {
+	return iterFactor * (len(t.rows) + t.nCols + 1)
+}
+
+// pivot performs a standard simplex pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	pr := t.rows[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	for i := range t.rows {
+		if i == row {
+			continue
+		}
+		factor := t.rows[i][col]
+		if factor == 0 {
+			continue
+		}
+		r := t.rows[i]
+		for j := range r {
+			r[j] -= factor * pr[j]
+		}
+	}
+	for _, objRow := range [][]float64{t.obj, t.art} {
+		factor := objRow[col]
+		if factor != 0 {
+			for j := range objRow {
+				objRow[j] -= factor * pr[j]
+			}
+		}
+	}
+	t.basis[row] = col
+	t.iterCount++
+}
+
+// ratioRow picks the leaving row by the minimum-ratio test with Bland
+// tie-breaking (smallest basis index). Returns -1 when unbounded.
+func (t *tableau) ratioRow(col int) int {
+	bestRow := -1
+	bestRatio := math.Inf(1)
+	for i, r := range t.rows {
+		a := r[col]
+		if a <= pivotTol {
+			continue
+		}
+		ratio := r[t.nCols] / a
+		if ratio < bestRatio-pivotTol ||
+			(math.Abs(ratio-bestRatio) <= pivotTol && (bestRow == -1 || t.basis[i] < t.basis[bestRow])) {
+			bestRatio = ratio
+			bestRow = i
+		}
+	}
+	return bestRow
+}
+
+// iterate runs simplex pivots against the given objective row until no
+// entering column remains. allowCols limits candidate entering columns.
+func (t *tableau) iterate(objRow []float64, allowCols int) error {
+	limit := t.maxIter()
+	for {
+		if t.iterCount > limit {
+			return ErrCycle
+		}
+		// Bland's rule: first column with a negative reduced cost.
+		col := -1
+		for j := 0; j < allowCols; j++ {
+			if objRow[j] < -pivotTol {
+				col = j
+				break
+			}
+		}
+		if col == -1 {
+			return nil
+		}
+		row := t.ratioRow(col)
+		if row == -1 {
+			return ErrUnbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+func (t *tableau) phase1() error {
+	if err := t.iterate(t.art, t.nCols); err != nil {
+		if errors.Is(err, ErrUnbounded) {
+			// Phase-1 objective is bounded below by 0; unbounded here means a
+			// numerical anomaly, treat as infeasible.
+			return fmt.Errorf("%w: phase-1 anomaly", ErrInfeasible)
+		}
+		return err
+	}
+	// art row's RHS holds -(sum of artificials) at optimum.
+	if -t.art[t.nCols] > feasTol {
+		return fmt.Errorf("%w: artificial residual %g", ErrInfeasible, -t.art[t.nCols])
+	}
+	// Drive any artificial variables still in the basis (at zero level) out.
+	for i := range t.rows {
+		if t.basis[i] < t.nStruct+t.nSlack {
+			continue
+		}
+		swapped := false
+		for j := 0; j < t.nStruct+t.nSlack; j++ {
+			if math.Abs(t.rows[i][j]) > pivotTol {
+				t.pivot(i, j)
+				swapped = true
+				break
+			}
+		}
+		if !swapped {
+			// The row is redundant (all-zero over real columns); zero it.
+			for j := range t.rows[i] {
+				t.rows[i][j] = 0
+			}
+		}
+	}
+	return nil
+}
+
+func (t *tableau) phase2() error {
+	// Exclude artificial columns from entering.
+	if err := t.iterate(t.obj, t.nStruct+t.nSlack); err != nil {
+		if errors.Is(err, ErrUnbounded) {
+			return ErrUnbounded
+		}
+		return err
+	}
+	return nil
+}
+
+func (t *tableau) solution() Solution {
+	x := make([]float64, t.nStruct)
+	for i, b := range t.basis {
+		if b < t.nStruct {
+			x[b] = t.rows[i][t.nCols]
+		}
+	}
+	// obj row RHS holds c·x (minimization of -c·x stores the negated value).
+	return Solution{X: x, Objective: t.obj[t.nCols], Iterations: t.iterCount}
+}

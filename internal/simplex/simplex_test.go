@@ -1,0 +1,289 @@
+package simplex
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bicoop/internal/xmath"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestSimpleMax(t *testing.T) {
+	// maximize x + y s.t. x <= 2, y <= 3 -> 5 at (2, 3).
+	sol := solveOK(t, Problem{
+		C:   []float64{1, 1},
+		AUb: [][]float64{{1, 0}, {0, 1}},
+		BUb: []float64{2, 3},
+	})
+	if !xmath.ApproxEqual(sol.Objective, 5, 1e-9) {
+		t.Errorf("objective = %v, want 5", sol.Objective)
+	}
+	if !xmath.ApproxEqual(sol.X[0], 2, 1e-9) || !xmath.ApproxEqual(sol.X[1], 3, 1e-9) {
+		t.Errorf("X = %v, want [2 3]", sol.X)
+	}
+}
+
+func TestClassicLP(t *testing.T) {
+	// A standard production LP:
+	// maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+	// Optimum 36 at (2, 6).
+	sol := solveOK(t, Problem{
+		C:   []float64{3, 5},
+		AUb: [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		BUb: []float64{4, 12, 18},
+	})
+	if !xmath.ApproxEqual(sol.Objective, 36, 1e-9) {
+		t.Errorf("objective = %v, want 36", sol.Objective)
+	}
+	if !xmath.ApproxEqual(sol.X[0], 2, 1e-9) || !xmath.ApproxEqual(sol.X[1], 6, 1e-9) {
+		t.Errorf("X = %v, want [2 6]", sol.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// maximize x s.t. x + y = 1, x <= 0.4 -> 0.4 at (0.4, 0.6).
+	sol := solveOK(t, Problem{
+		C:   []float64{1, 0},
+		AUb: [][]float64{{1, 0}},
+		BUb: []float64{0.4},
+		AEq: [][]float64{{1, 1}},
+		BEq: []float64{1},
+	})
+	if !xmath.ApproxEqual(sol.Objective, 0.4, 1e-9) {
+		t.Errorf("objective = %v, want 0.4", sol.Objective)
+	}
+	if !xmath.ApproxEqual(sol.X[1], 0.6, 1e-9) {
+		t.Errorf("y = %v, want 0.6", sol.X[1])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Problem
+	}{
+		{
+			name: "contradictory inequalities",
+			p: Problem{
+				C:   []float64{1},
+				AUb: [][]float64{{1}, {-1}},
+				BUb: []float64{1, -2}, // x <= 1 and x >= 2
+			},
+		},
+		{
+			name: "equality out of reach",
+			p: Problem{
+				C:   []float64{1, 1},
+				AUb: [][]float64{{1, 1}},
+				BUb: []float64{1},
+				AEq: [][]float64{{1, 1}},
+				BEq: []float64{2},
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.p.Solve(); !errors.Is(err, ErrInfeasible) {
+				t.Errorf("err = %v, want ErrInfeasible", err)
+			}
+		})
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// maximize x with no constraints binding it.
+	_, err := Problem{
+		C:   []float64{1, 0},
+		AUb: [][]float64{{0, 1}},
+		BUb: []float64{1},
+	}.Solve()
+	if !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Problem
+	}{
+		{name: "empty objective", p: Problem{}},
+		{name: "ragged aub", p: Problem{C: []float64{1, 2}, AUb: [][]float64{{1}}, BUb: []float64{1}}},
+		{name: "ragged aeq", p: Problem{C: []float64{1, 2}, AEq: [][]float64{{1}}, BEq: []float64{1}}},
+		{name: "rhs mismatch", p: Problem{C: []float64{1}, AUb: [][]float64{{1}}, BUb: nil}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := tt.p.Solve(); !errors.Is(err, ErrShape) {
+				t.Errorf("err = %v, want ErrShape", err)
+			}
+		})
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// maximize -x s.t. -x <= -3  (i.e., x >= 3): optimum -3 at x = 3.
+	sol := solveOK(t, Problem{
+		C:   []float64{-1},
+		AUb: [][]float64{{-1}},
+		BUb: []float64{-3},
+	})
+	if !xmath.ApproxEqual(sol.X[0], 3, 1e-9) {
+		t.Errorf("x = %v, want 3", sol.X[0])
+	}
+	if !xmath.ApproxEqual(sol.Objective, -3, 1e-9) {
+		t.Errorf("objective = %v, want -3", sol.Objective)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A degenerate LP that stalls naive pivoting; Bland's rule must finish.
+	sol := solveOK(t, Problem{
+		C:   []float64{0.75, -150, 0.02, -6},
+		AUb: [][]float64{{0.25, -60, -0.04, 9}, {0.5, -90, -0.02, 3}, {0, 0, 1, 0}},
+		BUb: []float64{0, 0, 1},
+	})
+	if !xmath.ApproxEqual(sol.Objective, 0.05, 1e-9) {
+		t.Errorf("objective = %v, want 0.05 (Beale's example)", sol.Objective)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicate equality rows must not break phase 1.
+	sol := solveOK(t, Problem{
+		C:   []float64{1, 1},
+		AEq: [][]float64{{1, 1}, {2, 2}},
+		BEq: []float64{1, 2},
+	})
+	if !xmath.ApproxEqual(sol.Objective, 1, 1e-9) {
+		t.Errorf("objective = %v, want 1", sol.Objective)
+	}
+}
+
+func TestTimeShareLP(t *testing.T) {
+	// The shape of this module's real workload: maximize Ra + Rb over
+	// (Ra, Rb, d1, d2) with d1 + d2 = 1 and per-phase rate caps
+	//   Ra <= 2·d1, Ra <= 3·d2, Rb <= 1.5·d1, Rb <= 2.5·d2,
+	//   Ra + Rb <= 3·d1.
+	// Variables: [Ra, Rb, d1, d2].
+	p := Problem{
+		C: []float64{1, 1, 0, 0},
+		AUb: [][]float64{
+			{1, 0, -2, 0},
+			{1, 0, 0, -3},
+			{0, 1, -1.5, 0},
+			{0, 1, 0, -2.5},
+			{1, 1, -3, 0},
+		},
+		BUb: []float64{0, 0, 0, 0, 0},
+		AEq: [][]float64{{0, 0, 1, 1}},
+		BEq: []float64{1},
+	}
+	sol := solveOK(t, p)
+	// Cross-check against a fine grid search over d1.
+	best := 0.0
+	for _, d1 := range xmath.Linspace(0, 1, 100001) {
+		d2 := 1 - d1
+		ra := math.Min(2*d1, 3*d2)
+		rb := math.Min(1.5*d1, 2.5*d2)
+		sum := ra + rb
+		if cap3 := 3 * d1; sum > cap3 {
+			sum = cap3
+		}
+		if sum > best {
+			best = sum
+		}
+	}
+	if !xmath.ApproxEqual(sol.Objective, best, 1e-4) {
+		t.Errorf("LP objective = %v, grid best = %v", sol.Objective, best)
+	}
+	// Durations must sum to one.
+	if !xmath.ApproxEqual(sol.X[2]+sol.X[3], 1, 1e-9) {
+		t.Errorf("d1+d2 = %v, want 1", sol.X[2]+sol.X[3])
+	}
+}
+
+func TestRandomLPsAgainstGridSearch(t *testing.T) {
+	// Random 2-variable LPs with box + halfplane constraints, validated
+	// against brute-force corner enumeration on a fine grid.
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		c := []float64{r.Float64()*4 - 2, r.Float64()*4 - 2}
+		nCon := 2 + r.Intn(4)
+		aub := make([][]float64, 0, nCon+2)
+		bub := make([]float64, 0, nCon+2)
+		// Box to keep it bounded.
+		aub = append(aub, []float64{1, 0}, []float64{0, 1})
+		bub = append(bub, 5, 5)
+		for k := 0; k < nCon; k++ {
+			aub = append(aub, []float64{r.Float64()*2 - 0.5, r.Float64()*2 - 0.5})
+			bub = append(bub, r.Float64()*6)
+		}
+		sol, err := Problem{C: c, AUb: aub, BUb: bub}.Solve()
+		if err != nil {
+			// Random constraints can exclude the origin only via negative
+			// rhs, which we did not generate; x = 0 is always feasible.
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Grid search.
+		best := math.Inf(-1)
+		const steps = 400
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				x := 5 * float64(i) / steps
+				y := 5 * float64(j) / steps
+				ok := true
+				for k := range aub {
+					if aub[k][0]*x+aub[k][1]*y > bub[k]+1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if v := c[0]*x + c[1]*y; v > best {
+						best = v
+					}
+				}
+			}
+		}
+		if sol.Objective < best-1e-6 {
+			t.Fatalf("trial %d: LP %v below grid %v", trial, sol.Objective, best)
+		}
+		// LP must also be achievable: check feasibility of the returned X.
+		for k := range aub {
+			if aub[k][0]*sol.X[0]+aub[k][1]*sol.X[1] > bub[k]+1e-6 {
+				t.Fatalf("trial %d: returned X violates constraint %d", trial, k)
+			}
+		}
+		if sol.X[0] < -1e-9 || sol.X[1] < -1e-9 {
+			t.Fatalf("trial %d: negative solution %v", trial, sol.X)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	tests := []struct {
+		s    Status
+		want string
+	}{
+		{StatusOptimal, "optimal"},
+		{StatusInfeasible, "infeasible"},
+		{StatusUnbounded, "unbounded"},
+		{Status(99), "Status(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(tt.s), got, tt.want)
+		}
+	}
+}

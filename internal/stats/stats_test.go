@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bicoop/internal/xmath"
+)
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Variance() != 0 || r.StdErr() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Errorf("N = %d", r.N())
+	}
+	if !xmath.ApproxEqual(r.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if !xmath.ApproxEqual(r.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want 32/7", r.Variance())
+	}
+	if !xmath.ApproxEqual(r.StdDev(), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", r.StdDev())
+	}
+}
+
+func TestRunningMatchesBatchOnRandomData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(500)
+		xs := make([]float64, n)
+		var r Running
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*3 + 1
+			r.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(n-1)
+		if !xmath.ApproxEqual(r.Mean(), mean, 1e-9) {
+			t.Fatalf("mean %v vs batch %v", r.Mean(), mean)
+		}
+		if !xmath.ApproxEqual(r.Variance(), variance, 1e-9) {
+			t.Fatalf("variance %v vs batch %v", r.Variance(), variance)
+		}
+	}
+}
+
+func TestMeanIntervalCoverage(t *testing.T) {
+	// ~95% of 95% intervals over repeated experiments must contain the true
+	// mean. Use 400 experiments of 100 N(7, 2²) samples.
+	rng := rand.New(rand.NewSource(2))
+	const experiments = 400
+	covered := 0
+	for e := 0; e < experiments; e++ {
+		var r Running
+		for i := 0; i < 100; i++ {
+			r.Add(rng.NormFloat64()*2 + 7)
+		}
+		iv, err := r.MeanInterval(0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(7) {
+			covered++
+		}
+	}
+	rate := float64(covered) / experiments
+	if rate < 0.90 || rate > 0.99 {
+		t.Errorf("coverage = %v, want ~0.95", rate)
+	}
+}
+
+func TestMeanIntervalErrors(t *testing.T) {
+	var r Running
+	if _, err := r.MeanInterval(0.95); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	tests := []struct {
+		name      string
+		succ, n   int
+		wantLoMax float64 // Lo must be <= this
+		wantHiMin float64 // Hi must be >= this
+	}{
+		{name: "half", succ: 50, n: 100, wantLoMax: 0.5, wantHiMin: 0.5},
+		{name: "all success", succ: 30, n: 30, wantLoMax: 1.0, wantHiMin: 0.999},
+		{name: "no success", succ: 0, n: 30, wantLoMax: 0.001, wantHiMin: 0.0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			iv, err := WilsonInterval(tt.succ, tt.n, 0.95)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iv.Lo < 0 || iv.Hi > 1 || iv.Lo > iv.Hi {
+				t.Fatalf("malformed interval %+v", iv)
+			}
+			p := float64(tt.succ) / float64(tt.n)
+			if !iv.Contains(p) {
+				t.Errorf("interval %+v excludes the point estimate %v", iv, p)
+			}
+		})
+	}
+	t.Run("boundaries stay proper at n=1", func(t *testing.T) {
+		iv, err := WilsonInterval(1, 1, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Hi != 1 || iv.Lo <= 0 {
+			t.Errorf("n=1 interval %+v", iv)
+		}
+	})
+}
+
+func TestWilsonIntervalCoverage(t *testing.T) {
+	// Empirical coverage for p = 0.1 with n = 50: Wilson should be close to
+	// nominal even for small n and skewed p.
+	rng := rand.New(rand.NewSource(3))
+	const experiments = 600
+	covered := 0
+	for e := 0; e < experiments; e++ {
+		succ := 0
+		for i := 0; i < 50; i++ {
+			if rng.Float64() < 0.1 {
+				succ++
+			}
+		}
+		iv, err := WilsonInterval(succ, 50, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Contains(0.1) {
+			covered++
+		}
+	}
+	rate := float64(covered) / experiments
+	if rate < 0.90 || rate > 0.99 {
+		t.Errorf("Wilson coverage = %v, want ~0.95", rate)
+	}
+}
+
+func TestWilsonIntervalErrors(t *testing.T) {
+	if _, err := WilsonInterval(1, 0, 0.95); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v, want ErrNoData", err)
+	}
+	if _, err := WilsonInterval(-1, 5, 0.95); err == nil {
+		t.Error("negative successes should error")
+	}
+	if _, err := WilsonInterval(6, 5, 0.95); err == nil {
+		t.Error("successes > trials should error")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 3}
+	if iv.Width() != 2 {
+		t.Errorf("Width = %v", iv.Width())
+	}
+	if !iv.Contains(2) || iv.Contains(0) || iv.Contains(4) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestZForMonotone(t *testing.T) {
+	prev := 0.0
+	for _, c := range []float64{0.5, 0.90, 0.95, 0.99, 0.995} {
+		z := zFor(c)
+		if z < prev {
+			t.Fatalf("zFor not monotone at %v", c)
+		}
+		prev = z
+	}
+}

@@ -1,0 +1,283 @@
+// Package xmath provides the small numerical toolkit shared by every other
+// package in this module: decibel conversions, the Shannon rate function
+// C(x) = log2(1+x), floating-point comparison helpers, compensated summation,
+// grid generation, and a pair of scalar optimizers (golden-section search and
+// bisection) used when closed forms are unavailable.
+//
+// Everything in this package is pure and allocation-light; none of it retains
+// state between calls.
+package xmath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Ln2 is the natural logarithm of 2, used to convert nats to bits.
+const Ln2 = math.Ln2
+
+// ErrBadInterval is returned by the scalar optimizers when the supplied
+// interval is empty or inverted.
+var ErrBadInterval = errors.New("xmath: interval is empty or inverted")
+
+// DB converts a linear power ratio to decibels. DB(0) is -Inf; negative
+// inputs yield NaN, mirroring math.Log10.
+func DB(linear float64) float64 {
+	return 10 * math.Log10(linear)
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// Log2 returns the base-2 logarithm of x.
+func Log2(x float64) float64 {
+	return math.Log2(x)
+}
+
+// C is the AWGN rate function C(x) = log2(1 + x) in bits per channel use,
+// defined for x >= 0 (Section IV of the paper). For negative x it returns 0
+// rather than NaN: the callers always pass received SNRs, and a tiny negative
+// value can only arise from float cancellation.
+func C(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log2(1 + x)
+}
+
+// CInv inverts C: CInv(r) returns the SNR x such that C(x) = r.
+func CInv(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return math.Exp2(r) - 1
+}
+
+// EntropyBinary returns the binary entropy function h(p) in bits.
+// h(0) = h(1) = 0.
+func EntropyBinary(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// ApproxEqual reports whether a and b are equal within both an absolute
+// tolerance and a relative tolerance scaled by the larger magnitude.
+// NaNs are never equal; equal infinities are equal.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // unequal infinities, or one finite and one infinite
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Linspace returns n evenly spaced samples over [lo, hi] inclusive.
+// n must be at least 2 except that n == 1 yields just {lo}.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi // avoid accumulated rounding at the endpoint
+	return out
+}
+
+// LogspaceDB returns n power values evenly spaced in decibels over
+// [loDB, hiDB], converted to linear scale.
+func LogspaceDB(loDB, hiDB float64, n int) []float64 {
+	dbs := Linspace(loDB, hiDB, n)
+	out := make([]float64, len(dbs))
+	for i, d := range dbs {
+		out[i] = FromDB(d)
+	}
+	return out
+}
+
+// KahanSum accumulates xs with compensated (Kahan) summation, reducing the
+// rounding error of long Monte Carlo averages.
+func KahanSum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Accumulator is a running compensated sum with count, suitable for streaming
+// means. The zero value is ready to use.
+type Accumulator struct {
+	sum  float64
+	comp float64
+	n    int
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	y := x - a.comp
+	t := a.sum + y
+	a.comp = (t - a.sum) - y
+	a.sum = t
+	a.n++
+}
+
+// Sum returns the compensated total.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// N returns the number of samples folded in.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns Sum()/N(), or 0 when empty.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// ArgmaxFunc evaluates f on each x in xs and returns the index attaining the
+// maximum, breaking ties toward the smallest index. It returns -1 for an
+// empty slice.
+func ArgmaxFunc(xs []float64, f func(float64) float64) int {
+	best, bestIdx := math.Inf(-1), -1
+	for i, x := range xs {
+		if v := f(x); v > best {
+			best, bestIdx = v, i
+		}
+	}
+	return bestIdx
+}
+
+// invPhi is the reciprocal golden ratio used by GoldenMax.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenMax maximizes a unimodal f over [lo, hi] by golden-section search,
+// returning the maximizing x and f(x). tol is the termination width on x;
+// non-positive tol defaults to 1e-9 times the interval width (floored at
+// 1e-12 absolute).
+func GoldenMax(f func(float64) float64, lo, hi, tol float64) (x, fx float64, err error) {
+	if hi < lo {
+		return 0, 0, fmt.Errorf("%w: [%g, %g]", ErrBadInterval, lo, hi)
+	}
+	if tol <= 0 {
+		tol = math.Max(1e-9*(hi-lo), 1e-12)
+	}
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc >= fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x), nil
+}
+
+// Bisect finds a root of f in [lo, hi] assuming f(lo) and f(hi) have opposite
+// signs, to within tol on x.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if hi < lo {
+		return 0, fmt.Errorf("%w: [%g, %g]", ErrBadInterval, lo, hi)
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, fmt.Errorf("xmath: no sign change on [%g, %g]", lo, hi)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// MaxFloat returns the maximum of xs, or -Inf for an empty slice.
+func MaxFloat(xs ...float64) float64 {
+	out := math.Inf(-1)
+	for _, x := range xs {
+		if x > out {
+			out = x
+		}
+	}
+	return out
+}
+
+// MinFloat returns the minimum of xs, or +Inf for an empty slice.
+func MinFloat(xs ...float64) float64 {
+	out := math.Inf(1)
+	for _, x := range xs {
+		if x < out {
+			out = x
+		}
+	}
+	return out
+}
+
+// Sum returns the plain sum of xs (use KahanSum for long, cancellation-prone
+// streams).
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
