@@ -1,0 +1,28 @@
+# Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
+
+.PHONY: all build vet test bench bench-smoke bench-baseline
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# bench writes the current performance ledger (compare against
+# BENCH_baseline.json; see doc.go "Performance and profiling").
+bench:
+	./scripts/bench.sh BENCH_after.json
+
+# bench-smoke is the fast CI pass: every benchmark once, no ledger.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x -benchmem ./...
+
+# bench-baseline refreshes the baseline ledger. Only meaningful on the
+# first buildable revision (or after intentionally rebaselining).
+bench-baseline:
+	./scripts/bench.sh BENCH_baseline.json

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	bcc list                            # list reproduction experiments
-//	bcc run <id> [-quick] [-seed N] [-csv]
-//	bcc all [-quick]                    # run every experiment
+//	bcc run <id> [-quick] [-seed N] [-csv] [-workers N] [-cpuprofile f]
+//	bcc all [-quick] [-workers N] [-cpuprofile f]
 //	bcc bounds  [-p dB] [-gab dB] [-gar dB] [-gbr dB]
 //	bcc region  [-proto P] [-bound inner|outer] [-p dB] [...gains] [-csv]
 //	bcc place   [-p dB] [-pos 0..1] [-gamma g]
@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"bicoop"
@@ -160,10 +162,41 @@ func cmdList() error {
 	return nil
 }
 
+// perfFlags registers the shared performance flags: -workers caps the
+// process's parallelism (GOMAXPROCS, which also bounds the Monte Carlo
+// worker pools) and -cpuprofile writes a pprof CPU profile of the run.
+func perfFlags(fs *flag.FlagSet) (workers *int, cpuprofile *string) {
+	workers = fs.Int("workers", 0, "cap worker parallelism (GOMAXPROCS); 0 keeps the default")
+	cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	return
+}
+
+// withPerf applies the performance flags around fn. The profile file is
+// closed (and profiling stopped) before returning so partial runs still
+// produce a readable profile.
+func withPerf(workers int, cpuprofile string, fn func() error) error {
+	if workers > 0 {
+		runtime.GOMAXPROCS(workers)
+	}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	return fn()
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced resolution for a fast run")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	workers, cpuprofile := perfFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -175,23 +208,28 @@ func cmdRun(args []string) error {
 	if err := fs.Parse(fs.Args()[1:]); err != nil {
 		return err
 	}
-	return bicoop.RunExperiment(id, *quick, *seed, os.Stdout)
+	return withPerf(*workers, *cpuprofile, func() error {
+		return bicoop.RunExperiment(id, *quick, *seed, os.Stdout)
+	})
 }
 
 func cmdAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced resolution for a fast run")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	workers, cpuprofile := perfFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	for _, id := range bicoop.Experiments() {
-		if err := bicoop.RunExperiment(id, *quick, *seed, os.Stdout); err != nil {
-			return err
+	return withPerf(*workers, *cpuprofile, func() error {
+		for _, id := range bicoop.Experiments() {
+			if err := bicoop.RunExperiment(id, *quick, *seed, os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
 		}
-		fmt.Println()
-	}
-	return nil
+		return nil
+	})
 }
 
 func cmdBounds(args []string) error {

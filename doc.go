@@ -28,4 +28,34 @@
 //	s := bicoop.Scenario{PowerDB: 10, GabDB: -7, GarDB: 0, GbrDB: 5}
 //	res, err := bicoop.OptimalSumRate(bicoop.HBC, bicoop.Inner, s)
 //	// res.Sum is the LP-optimal Ra+Rb; res.Durations the phase split.
+//
+// # Performance and profiling
+//
+// Every reported quantity reduces to a tiny phase-duration LP per scenario,
+// re-solved per protocol per fading block by the Monte Carlo layer. The hot
+// path is allocation-free in steady state: internal/protocols.Evaluator
+// caches the scenario-independent constraint structure per protocol/bound,
+// solves the two- and three-phase bounds (DT, MABC, TDBC) in closed form by
+// candidate-vertex enumeration, and falls back to a reusable-workspace
+// simplex (internal/simplex.Workspace, Problem.SolveIn) for Naive4/HBC.
+// Allocation regressions are pinned by testing.AllocsPerRun tests next to
+// the hot paths (internal/protocols, internal/sim, internal/simplex).
+//
+// Start perf work from a profile, not a guess:
+//
+//	# profile a real workload through the CLI
+//	go run ./cmd/bcc run fading -workers 1 -cpuprofile /tmp/cpu.prof
+//	go tool pprof -top /tmp/cpu.prof
+//
+//	# or profile the micro-benchmarks around the kernel you are changing
+//	go test ./internal/sim/ -run '^$' -bench BenchmarkOutageTrial \
+//	    -benchmem -cpuprofile /tmp/trial.prof
+//	go tool pprof -top /tmp/trial.prof
+//
+//	# record the before/after ledger (writes BENCH_*.json)
+//	./scripts/bench.sh BENCH_after.json
+//
+// BENCH_baseline.json (the first buildable revision) and BENCH_after.json
+// (current) are committed at the repo root; keep them in sync with scripts/
+// bench.sh when a PR changes performance-relevant code.
 package bicoop

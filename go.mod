@@ -1,0 +1,3 @@
+module bicoop
+
+go 1.24

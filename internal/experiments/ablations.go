@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"bicoop/internal/channel"
 	"bicoop/internal/plot"
@@ -29,6 +30,7 @@ func runDeltaAblation(cfg Config) (Result, error) {
 	}
 	maxLoss := 0.0
 	var maxLossProto protocols.Protocol
+	ev := protocols.NewEvaluator()
 	for _, proto := range []protocols.Protocol{protocols.MABC, protocols.TDBC, protocols.HBC} {
 		for _, pdb := range powersDB {
 			s := protocols.Scenario{P: xmath.FromDB(pdb), G: Fig4Gains()}
@@ -36,7 +38,7 @@ func runDeltaAblation(cfg Config) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			opt, err := spec.MaxSumRate()
+			opt, err := ev.SumRate(proto, protocols.BoundInner, s)
 			if err != nil {
 				return Result{}, err
 			}
@@ -45,14 +47,14 @@ func runDeltaAblation(cfg Config) (Result, error) {
 				return Result{}, err
 			}
 			loss := 0.0
-			if opt.Objective > 0 {
-				loss = 100 * (opt.Objective - eq) / opt.Objective
+			if opt > 0 {
+				loss = 100 * (opt - eq) / opt
 			}
 			if loss > maxLoss {
 				maxLoss, maxLossProto = loss, proto
 			}
 			table.AddRow(proto.String(), fmt.Sprintf("%.0f", pdb),
-				fmt.Sprintf("%.4f", opt.Objective), fmt.Sprintf("%.4f", eq), fmt.Sprintf("%.1f", loss))
+				fmt.Sprintf("%.4f", opt), fmt.Sprintf("%.4f", eq), fmt.Sprintf("%.1f", loss))
 		}
 	}
 	return Result{
@@ -76,11 +78,12 @@ func runPathLoss(cfg Config) (Result, error) {
 		Headers: []string{"gamma", "relay pos", "HBC", "max(MABC,TDBC)", "HBC gain (%)"},
 	}
 	var maxGain float64
+	ev := protocols.NewEvaluator()
 	for _, gamma := range exponents {
 		hbcY := make([]float64, nPos)
 		bestY := make([]float64, nPos)
 		for xi, d := range positions {
-			sub, err := relayPoint(d, gamma, p)
+			sub, err := relayPoint(ev, d, gamma, p)
 			if err != nil {
 				return Result{}, err
 			}
@@ -121,27 +124,26 @@ type relaySums struct {
 	hbc, best float64
 }
 
-func relayPoint(d, gamma, p float64) (relaySums, error) {
+func relayPoint(ev *protocols.Evaluator, d, gamma, p float64) (relaySums, error) {
 	g, err := (channel.LineGeometry{RelayPos: d, Exponent: gamma}).Gains()
 	if err != nil {
 		return relaySums{}, err
 	}
-	s := protocols.Scenario{P: p, G: g}
-	hbc, err := protocols.OptimalSumRate(protocols.HBC, protocols.BoundInner, s)
+	li, err := protocols.LinkInfosFromScenario(protocols.Scenario{P: p, G: g})
 	if err != nil {
 		return relaySums{}, err
 	}
-	mabc, err := protocols.OptimalSumRate(protocols.MABC, protocols.BoundInner, s)
+	hbc, err := ev.SumRateLinks(protocols.HBC, protocols.BoundInner, li)
 	if err != nil {
 		return relaySums{}, err
 	}
-	tdbc, err := protocols.OptimalSumRate(protocols.TDBC, protocols.BoundInner, s)
+	mabc, err := ev.SumRateLinks(protocols.MABC, protocols.BoundInner, li)
 	if err != nil {
 		return relaySums{}, err
 	}
-	best := mabc.Sum
-	if tdbc.Sum > best {
-		best = tdbc.Sum
+	tdbc, err := ev.SumRateLinks(protocols.TDBC, protocols.BoundInner, li)
+	if err != nil {
+		return relaySums{}, err
 	}
-	return relaySums{hbc: hbc.Sum, best: best}, nil
+	return relaySums{hbc: hbc, best: math.Max(mabc, tdbc)}, nil
 }

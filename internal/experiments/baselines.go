@@ -41,15 +41,16 @@ func runBaselines(cfg Config) (Result, error) {
 	}
 	afBeatsDFSomewhere := false
 	worstPenalty := 1.0
+	ev := protocols.NewEvaluator()
 	for xi, pdb := range powersDB {
 		s := protocols.Scenario{P: xmath.FromDB(pdb), G: Fig4Gains()}
 		vals := make([]float64, 0, 5)
 		for _, proto := range []protocols.Protocol{protocols.MABC, protocols.TDBC, protocols.HBC} {
-			r, err := protocols.OptimalSumRate(proto, protocols.BoundInner, s)
+			sum, err := ev.SumRate(proto, protocols.BoundInner, s)
 			if err != nil {
 				return Result{}, err
 			}
-			vals = append(vals, r.Sum)
+			vals = append(vals, sum)
 		}
 		af, err := protocols.AFSumRate(s)
 		if err != nil {

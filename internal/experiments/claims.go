@@ -29,6 +29,7 @@ func runCrossover(cfg Config) (Result, error) {
 		nP = 11
 	}
 	powersDB := xmath.Linspace(-10, 20, nP)
+	ev := protocols.NewEvaluator() // one evaluator across the power sweep
 	protos := []protocols.Protocol{protocols.MABC, protocols.TDBC, protocols.HBC}
 	series := make([]plot.Series, len(protos))
 	for i, p := range protos {
@@ -42,14 +43,18 @@ func runCrossover(cfg Config) (Result, error) {
 	var prevDiff float64
 	for xi, pdb := range powersDB {
 		s := protocols.Scenario{P: xmath.FromDB(pdb), G: Fig4Gains()}
+		li, err := protocols.LinkInfosFromScenario(s)
+		if err != nil {
+			return Result{}, err
+		}
 		vals := make([]float64, len(protos))
 		for i, proto := range protos {
-			r, err := protocols.OptimalSumRate(proto, protocols.BoundInner, s)
+			sum, err := ev.SumRateLinks(proto, protocols.BoundInner, li)
 			if err != nil {
 				return Result{}, err
 			}
-			series[i].Y[xi] = r.Sum
-			vals[i] = r.Sum
+			series[i].Y[xi] = sum
+			vals[i] = sum
 		}
 		table.AddNumericRow(fmt.Sprintf("%.1f", pdb), vals...)
 		diff := vals[0] - vals[1] // MABC - TDBC
@@ -136,6 +141,7 @@ func runMABCTight(cfg Config) (Result, error) {
 		angles = 61
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	ev := protocols.NewEvaluator()
 	worst := 0.0
 	table := plot.Table{
 		Title:   "MABC inner vs outer region agreement on randomized scenarios",
@@ -147,11 +153,11 @@ func runMABCTight(cfg Config) (Result, error) {
 		gar := gab + 15*rng.Float64()
 		gbr := gab + 15*rng.Float64()
 		s := protocols.Scenario{P: xmath.FromDB(pdb), G: channel.GainsFromDB(gab, gar, gbr)}
-		inner, err := protocols.GaussianRegion(protocols.MABC, protocols.BoundInner, s, protocols.RegionOptions{Angles: angles})
+		inner, err := ev.Region(protocols.MABC, protocols.BoundInner, s, protocols.RegionOptions{Angles: angles})
 		if err != nil {
 			return Result{}, err
 		}
-		outer, err := protocols.GaussianRegion(protocols.MABC, protocols.BoundOuter, s, protocols.RegionOptions{Angles: angles})
+		outer, err := ev.Region(protocols.MABC, protocols.BoundOuter, s, protocols.RegionOptions{Angles: angles})
 		if err != nil {
 			return Result{}, err
 		}

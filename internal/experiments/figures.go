@@ -50,6 +50,7 @@ func relayPlacementSweep(cfg Config, gamma, p float64) (Result, error) {
 		nPos = 19
 	}
 	positions := xmath.Linspace(0.05, 0.95, nPos)
+	ev := protocols.NewEvaluator() // one evaluator across the whole sweep
 	series := make([]plot.Series, len(fig3Protocols))
 	for i, proto := range fig3Protocols {
 		series[i] = plot.Series{Name: proto.String(), Y: make([]float64, len(positions))}
@@ -65,14 +66,18 @@ func relayPlacementSweep(cfg Config, gamma, p float64) (Result, error) {
 			return Result{}, err
 		}
 		s := protocols.Scenario{P: p, G: g}
+		li, err := protocols.LinkInfosFromScenario(s)
+		if err != nil {
+			return Result{}, err
+		}
 		vals := make([]float64, len(fig3Protocols))
 		for i, proto := range fig3Protocols {
-			res, err := protocols.OptimalSumRate(proto, protocols.BoundInner, s)
+			sum, err := ev.SumRateLinks(proto, protocols.BoundInner, li)
 			if err != nil {
 				return Result{}, err
 			}
-			series[i].Y[xi] = res.Sum
-			vals[i] = res.Sum
+			series[i].Y[xi] = sum
+			vals[i] = sum
 		}
 		table.AddNumericRow(fmt.Sprintf("%.3f", d), vals...)
 		hbc, mabc, tdbc := vals[4], vals[2], vals[3]
@@ -126,6 +131,7 @@ func runFig4(cfg Config, pDB float64) (Result, error) {
 		angles = 61
 	}
 	s := protocols.Scenario{P: xmath.FromDB(pDB), G: Fig4Gains()}
+	ev := protocols.NewEvaluator() // shared across every region sweep below
 	curves := make([]plot.RegionCurve, 0, len(fig4Curves))
 	polys := make(map[string]region.Polygon, len(fig4Curves))
 	table := plot.Table{
@@ -133,7 +139,7 @@ func runFig4(cfg Config, pDB float64) (Result, error) {
 		Headers: []string{"curve", "max Ra", "max Rb", "max Ra+Rb", "area"},
 	}
 	for _, c := range fig4Curves {
-		pg, err := protocols.GaussianRegion(c.proto, c.bound, s, protocols.RegionOptions{Angles: angles})
+		pg, err := ev.Region(c.proto, c.bound, s, protocols.RegionOptions{Angles: angles})
 		if err != nil {
 			return Result{}, err
 		}

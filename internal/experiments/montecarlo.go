@@ -24,6 +24,7 @@ func runFading(cfg Config) (Result, error) {
 		trials = 400
 	}
 	protos := []protocols.Protocol{protocols.MABC, protocols.TDBC, protocols.HBC}
+	ev := protocols.NewEvaluator() // fixed-gain reference values
 	powersDB := []float64{0, 5, 10}
 	table := plot.Table{
 		Title:   "Rayleigh fading Monte Carlo vs fixed-gain analytic sum rates",
@@ -47,7 +48,7 @@ func runFading(cfg Config) (Result, error) {
 			return Result{}, err
 		}
 		for i, proto := range protos {
-			fixed, err := protocols.OptimalSumRate(proto, protocols.BoundInner,
+			fixed, err := ev.SumRate(proto, protocols.BoundInner,
 				protocols.Scenario{P: xmath.FromDB(pdb), G: Fig4Gains()})
 			if err != nil {
 				return Result{}, err
@@ -55,7 +56,7 @@ func runFading(cfg Config) (Result, error) {
 			st := res.ByProtocol[proto]
 			meanSeries[i].Y[pi] = st.MeanOptSumRate
 			table.AddRow(proto.String(), fmt.Sprintf("%.0f", pdb),
-				fmt.Sprintf("%.4f", fixed.Sum), fmt.Sprintf("%.4f", st.MeanOptSumRate),
+				fmt.Sprintf("%.4f", fixed), fmt.Sprintf("%.4f", st.MeanOptSumRate),
 				fmt.Sprintf("%.4f", st.OutageProb))
 		}
 		hbc, mabc, tdbc := res.ByProtocol[protocols.HBC], res.ByProtocol[protocols.MABC], res.ByProtocol[protocols.TDBC]

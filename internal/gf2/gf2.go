@@ -173,6 +173,12 @@ func (m *Matrix) Set(i, j, b int) { m.data[i].Set(j, b) }
 // Row returns a copy of row i.
 func (m Matrix) Row(i int) Vector { return m.data[i].Clone() }
 
+// RowView returns row i sharing the matrix's storage. The caller must treat
+// it as read-only; it is the allocation-free companion of Row for hot loops
+// that only read rows (e.g. accumulating decode equations, which AppendRow
+// clones anyway).
+func (m Matrix) RowView(i int) Vector { return m.data[i] }
+
 // AppendRow appends a copy of row v; v must have m.cols bits.
 func (m *Matrix) AppendRow(v Vector) error {
 	if v.n != m.cols {

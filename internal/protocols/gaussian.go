@@ -17,13 +17,13 @@ type SumRateResult struct {
 }
 
 // OptimalSumRate computes the LP-optimal sum rate of a protocol bound in a
-// Gaussian scenario — one point of the paper's Fig 3.
+// Gaussian scenario — one point of the paper's Fig 3. It draws a pooled
+// Evaluator, so repeated calls hit the cached-template fast paths; callers
+// with a hot loop of their own should hold a private Evaluator instead.
 func OptimalSumRate(p Protocol, b Bound, s Scenario) (SumRateResult, error) {
-	spec, err := CompileGaussian(p, b, s)
-	if err != nil {
-		return SumRateResult{}, err
-	}
-	opt, err := spec.MaxSumRate()
+	e := evalPool.Get().(*Evaluator)
+	defer evalPool.Put(e)
+	opt, err := e.WeightedRate(p, b, s, 1, 1)
 	if err != nil {
 		return SumRateResult{}, err
 	}
@@ -32,18 +32,16 @@ func OptimalSumRate(p Protocol, b Bound, s Scenario) (SumRateResult, error) {
 		Kind:      b,
 		Sum:       opt.Objective,
 		Rates:     opt.Rates,
-		Durations: opt.Durations,
+		Durations: append([]float64(nil), opt.Durations...),
 	}, nil
 }
 
 // GaussianRegion computes a protocol bound's full rate region in a Gaussian
 // scenario — one curve of the paper's Fig 4.
 func GaussianRegion(p Protocol, b Bound, s Scenario, opts RegionOptions) (region.Polygon, error) {
-	spec, err := CompileGaussian(p, b, s)
-	if err != nil {
-		return region.Polygon{}, err
-	}
-	return spec.Region(opts)
+	e := evalPool.Get().(*Evaluator)
+	defer evalPool.Put(e)
+	return e.Region(p, b, s, opts)
 }
 
 // SumRateComparison evaluates the inner-bound optimal sum rates of every

@@ -161,6 +161,12 @@ type RegionOptions struct {
 // The axis-aligned directions are always included, so the region's maximal
 // per-user rates are exact.
 func (s Spec) Region(opts RegionOptions) (region.Polygon, error) {
+	return regionFromSolver(s.MaxWeightedRate, opts)
+}
+
+// regionFromSolver is the support-function sweep shared by Spec.Region and
+// Evaluator.Region; solve maximizes muA·Ra + muB·Rb over the bound.
+func regionFromSolver(solve func(muA, muB float64) (Optimum, error), opts RegionOptions) (region.Polygon, error) {
 	angles := opts.Angles
 	if angles <= 0 {
 		angles = 181
@@ -170,7 +176,7 @@ func (s Spec) Region(opts RegionOptions) (region.Polygon, error) {
 	for i := 0; i < angles; i++ {
 		theta := math.Pi / 2 * float64(i) / float64(angles-1)
 		muA, muB := math.Cos(theta), math.Sin(theta)
-		opt, err := s.MaxWeightedRate(muA, muB)
+		opt, err := solve(muA, muB)
 		if err != nil {
 			return region.Polygon{}, err
 		}
@@ -182,11 +188,11 @@ func (s Spec) Region(opts RegionOptions) (region.Polygon, error) {
 	}
 	// Axis-intercept points: the per-user maxima projected to the axes keep
 	// the hull anchored even if no swept vertex lands exactly there.
-	raMax, err := s.MaxWeightedRate(1, 0)
+	raMax, err := solve(1, 0)
 	if err != nil {
 		return region.Polygon{}, err
 	}
-	rbMax, err := s.MaxWeightedRate(0, 1)
+	rbMax, err := solve(0, 1)
 	if err != nil {
 		return region.Polygon{}, err
 	}

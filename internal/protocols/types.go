@@ -206,16 +206,26 @@ func LinkInfosFromScenario(s Scenario) (LinkInfos, error) {
 // (conditional MAC terms cannot exceed the MAC sum bound... individually they
 // can, but the sum term must be at least the max of the individual terms).
 func (li LinkInfos) Validate() error {
-	terms := map[string]float64{
-		"AtoR": li.AtoR, "BtoR": li.BtoR, "AtoB": li.AtoB, "BtoA": li.BtoA,
-		"RtoA": li.RtoA, "RtoB": li.RtoB,
-		"MACAGivenB": li.MACAGivenB, "MACBGivenA": li.MACBGivenA, "MACSum": li.MACSum,
-		"AtoRB": li.AtoRB, "BtoRA": li.BtoRA,
+	// Checked field by field (not via a map) because validation sits on the
+	// Monte Carlo per-block path and must not allocate.
+	if li.AtoR >= 0 && li.BtoR >= 0 && li.AtoB >= 0 && li.BtoA >= 0 &&
+		li.RtoA >= 0 && li.RtoB >= 0 &&
+		li.MACAGivenB >= 0 && li.MACBGivenA >= 0 && li.MACSum >= 0 &&
+		li.AtoRB >= 0 && li.BtoRA >= 0 {
+		return nil
 	}
-	for name, v := range terms {
-		if v < 0 {
-			return fmt.Errorf("protocols: negative information term %s = %g", name, v)
+	for _, t := range []struct {
+		name string
+		v    float64
+	}{
+		{"AtoR", li.AtoR}, {"BtoR", li.BtoR}, {"AtoB", li.AtoB}, {"BtoA", li.BtoA},
+		{"RtoA", li.RtoA}, {"RtoB", li.RtoB},
+		{"MACAGivenB", li.MACAGivenB}, {"MACBGivenA", li.MACBGivenA}, {"MACSum", li.MACSum},
+		{"AtoRB", li.AtoRB}, {"BtoRA", li.BtoRA},
+	} {
+		if !(t.v >= 0) {
+			return fmt.Errorf("protocols: non-finite or negative information term %s = %g", t.name, t.v)
 		}
 	}
-	return nil
+	return fmt.Errorf("protocols: invalid information terms %+v", li)
 }

@@ -144,8 +144,9 @@ func RunBitTrueTDBC(cfg BitTrueConfig) (BitTrueResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := BitTrueResult{Trials: cfg.Trials, Durations: durations}
 	successes := 0
+	var scratch tdbcScratch
 	for trial := 0; trial < cfg.Trials; trial++ {
-		ok, relayOK := runOneTDBCBlock(cfg.Net, ka, kb, kr, n1, n2, n3, rng)
+		ok, relayOK := runOneTDBCBlock(cfg.Net, ka, kb, kr, n1, n2, n3, rng, &scratch)
 		if ok {
 			successes++
 			continue
@@ -160,8 +161,64 @@ func RunBitTrueTDBC(cfg BitTrueConfig) (BitTrueResult, error) {
 	return res, nil
 }
 
+// tdbcScratch holds the equation-accumulation buffers of the bit-true TDBC
+// simulator so successive blocks reuse one set of slices (and one pool of
+// truncated-row vectors) instead of reallocating them per block. Rows taken
+// from generator matrices are shared views (gf2.Matrix.RowView): they are
+// only read here, and gf2.DecodeEquations clones every row it keeps.
+type tdbcScratch struct {
+	relayRowsA, relayRowsB []gf2.Vector
+	relayBitsA, relayBitsB []int
+	aSideRows, bSideRows   []gf2.Vector
+	aSideBits, bSideBits   []int
+	rowsForA, rowsForB     []gf2.Vector
+	bitsForA, bitsForB     []int
+	// truncA/truncB pool the truncated relay rows destined for terminals a
+	// and b (kb- and ka-bit vectors respectively); truncAUsed/truncBUsed
+	// count how many are live in the current block.
+	truncA, truncB         []gf2.Vector
+	truncAUsed, truncBUsed int
+}
+
+// reset prepares the scratch for a new block without releasing storage.
+func (s *tdbcScratch) reset() {
+	s.relayRowsA, s.relayRowsB = s.relayRowsA[:0], s.relayRowsB[:0]
+	s.relayBitsA, s.relayBitsB = s.relayBitsA[:0], s.relayBitsB[:0]
+	s.aSideRows, s.bSideRows = s.aSideRows[:0], s.bSideRows[:0]
+	s.aSideBits, s.bSideBits = s.aSideBits[:0], s.bSideBits[:0]
+	s.rowsForA, s.rowsForB = s.rowsForA[:0], s.rowsForB[:0]
+	s.bitsForA, s.bitsForB = s.bitsForA[:0], s.bitsForB[:0]
+	s.truncAUsed, s.truncBUsed = 0, 0
+}
+
+// truncate writes the first k coordinates of v into a pooled vector and
+// returns it; the result stays valid until the next reset.
+func truncateInto(pool *[]gf2.Vector, used *int, v gf2.Vector, k int) gf2.Vector {
+	var out gf2.Vector
+	if *used < len(*pool) && (*pool)[*used].Len() == k {
+		out = (*pool)[*used]
+	} else {
+		out = gf2.NewVector(k)
+		if *used < len(*pool) {
+			(*pool)[*used] = out
+		} else {
+			*pool = append(*pool, out)
+		}
+	}
+	*used++
+	for i := 0; i < k; i++ {
+		b := 0
+		if i < v.Len() {
+			b = v.Bit(i)
+		}
+		out.Set(i, b)
+	}
+	return out
+}
+
 // runOneTDBCBlock simulates one block. Returns (success, relayDecoded).
-func runOneTDBCBlock(net ErasureNetwork, ka, kb, kr, n1, n2, n3 int, rng *rand.Rand) (bool, bool) {
+func runOneTDBCBlock(net ErasureNetwork, ka, kb, kr, n1, n2, n3 int, rng *rand.Rand, s *tdbcScratch) (bool, bool) {
+	s.reset()
 	wa := gf2.RandomVector(ka, rng)
 	wb := gf2.RandomVector(kb, rng)
 
@@ -169,18 +226,14 @@ func runOneTDBCBlock(net ErasureNetwork, ka, kb, kr, n1, n2, n3 int, rng *rand.R
 	// independently.
 	codeA := gf2.NewCode(n1, ka, rng)
 	xa, _ := codeA.Encode(wa)
-	var relayRowsA []gf2.Vector
-	var relayBitsA []int
-	var bSideRows []gf2.Vector
-	var bSideBits []int
 	for i := 0; i < n1; i++ {
 		if rng.Float64() >= net.EpsAR {
-			relayRowsA = append(relayRowsA, codeA.G.Row(i))
-			relayBitsA = append(relayBitsA, xa.Bit(i))
+			s.relayRowsA = append(s.relayRowsA, codeA.G.RowView(i))
+			s.relayBitsA = append(s.relayBitsA, xa.Bit(i))
 		}
 		if rng.Float64() >= net.EpsAB {
-			bSideRows = append(bSideRows, codeA.G.Row(i))
-			bSideBits = append(bSideBits, xa.Bit(i))
+			s.bSideRows = append(s.bSideRows, codeA.G.RowView(i))
+			s.bSideBits = append(s.bSideBits, xa.Bit(i))
 		}
 	}
 
@@ -188,24 +241,20 @@ func runOneTDBCBlock(net ErasureNetwork, ka, kb, kr, n1, n2, n3 int, rng *rand.R
 	// independently.
 	codeB := gf2.NewCode(n2, kb, rng)
 	xb, _ := codeB.Encode(wb)
-	var relayRowsB []gf2.Vector
-	var relayBitsB []int
-	var aSideRows []gf2.Vector
-	var aSideBits []int
 	for i := 0; i < n2; i++ {
 		if rng.Float64() >= net.EpsBR {
-			relayRowsB = append(relayRowsB, codeB.G.Row(i))
-			relayBitsB = append(relayBitsB, xb.Bit(i))
+			s.relayRowsB = append(s.relayRowsB, codeB.G.RowView(i))
+			s.relayBitsB = append(s.relayBitsB, xb.Bit(i))
 		}
 		if rng.Float64() >= net.EpsAB {
-			aSideRows = append(aSideRows, codeB.G.Row(i))
-			aSideBits = append(aSideBits, xb.Bit(i))
+			s.aSideRows = append(s.aSideRows, codeB.G.RowView(i))
+			s.aSideBits = append(s.aSideBits, xb.Bit(i))
 		}
 	}
 
 	// Relay decodes both messages (decode-and-forward).
-	decA, errA := gf2.DecodeEquations(ka, relayRowsA, relayBitsA)
-	decB, errB := gf2.DecodeEquations(kb, relayRowsB, relayBitsB)
+	decA, errA := gf2.DecodeEquations(ka, s.relayRowsA, s.relayBitsA)
+	decB, errB := gf2.DecodeEquations(kb, s.relayRowsB, s.relayBitsB)
 	if errA != nil || errB != nil || !decA.Equal(wa) || !decB.Equal(wb) {
 		return false, false
 	}
@@ -223,30 +272,30 @@ func runOneTDBCBlock(net ErasureNetwork, ka, kb, kr, n1, n2, n3 int, rng *rand.R
 	// length, the effective row is g truncated to the peer's length.
 	padWa := netcode.PadCombine(wa, gf2.NewVector(kr)) // wa zero-padded to kr
 	padWb := netcode.PadCombine(wb, gf2.NewVector(kr))
-	rowsForA := append([]gf2.Vector(nil), aSideRows...)
-	bitsForA := append([]int(nil), aSideBits...)
-	rowsForB := append([]gf2.Vector(nil), bSideRows...)
-	bitsForB := append([]int(nil), bSideBits...)
+	s.rowsForA = append(s.rowsForA, s.aSideRows...)
+	s.bitsForA = append(s.bitsForA, s.aSideBits...)
+	s.rowsForB = append(s.rowsForB, s.bSideRows...)
+	s.bitsForB = append(s.bitsForB, s.bSideBits...)
 	for i := 0; i < n3; i++ {
-		row := codeR.G.Row(i)
+		row := codeR.G.RowView(i)
 		bit := xr.Bit(i)
 		// a hears the relay through the a-r link.
 		if rng.Float64() >= net.EpsAR {
-			rowsForA = append(rowsForA, truncate(row, kb))
-			bitsForA = append(bitsForA, bit^dot(row, padWa))
+			s.rowsForA = append(s.rowsForA, truncateInto(&s.truncA, &s.truncAUsed, row, kb))
+			s.bitsForA = append(s.bitsForA, bit^dot(row, padWa))
 		}
 		// b hears the relay through the b-r link.
 		if rng.Float64() >= net.EpsBR {
-			rowsForB = append(rowsForB, truncate(row, ka))
-			bitsForB = append(bitsForB, bit^dot(row, padWb))
+			s.rowsForB = append(s.rowsForB, truncateInto(&s.truncB, &s.truncBUsed, row, ka))
+			s.bitsForB = append(s.bitsForB, bit^dot(row, padWb))
 		}
 	}
 
-	gotB, errA2 := gf2.DecodeEquations(kb, rowsForA, bitsForA)
+	gotB, errA2 := gf2.DecodeEquations(kb, s.rowsForA, s.bitsForA)
 	if errA2 != nil || !gotB.Equal(wb) {
 		return false, true
 	}
-	gotA, errB2 := gf2.DecodeEquations(ka, rowsForB, bitsForB)
+	gotA, errB2 := gf2.DecodeEquations(ka, s.rowsForB, s.bitsForB)
 	if errB2 != nil || !gotA.Equal(wa) {
 		return false, true
 	}
@@ -260,13 +309,4 @@ func dot(a, b gf2.Vector) int {
 		acc ^= a.Bit(i) & b.Bit(i)
 	}
 	return acc
-}
-
-// truncate returns the first k coordinates of v as a fresh vector.
-func truncate(v gf2.Vector, k int) gf2.Vector {
-	out := gf2.NewVector(k)
-	for i := 0; i < k && i < v.Len(); i++ {
-		out.Set(i, v.Bit(i))
-	}
-	return out
 }

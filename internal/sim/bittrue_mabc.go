@@ -112,8 +112,9 @@ func RunBitTrueMABC(cfg MABCBitTrueConfig) (MABCBitTrueResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := MABCBitTrueResult{Durations: durations}
 	successes := 0
+	var scratch mabcScratch
 	for trial := 0; trial < cfg.Trials; trial++ {
-		ok, relayOK := runOneMABCBlock(cfg, k, n1, n2, rng)
+		ok, relayOK := runOneMABCBlock(cfg, k, n1, n2, rng, &scratch)
 		if ok {
 			successes++
 			continue
@@ -133,8 +134,16 @@ func RunBitTrueMABC(cfg MABCBitTrueConfig) (MABCBitTrueResult, error) {
 	return res, nil
 }
 
+// mabcScratch reuses the equation-accumulation slices across blocks. Rows
+// are shared generator views (RowView): read-only here, and DecodeEquations
+// clones what it keeps.
+type mabcScratch struct {
+	rows []gf2.Vector
+	bits []int
+}
+
 // runOneMABCBlock simulates one block. Returns (success, relayDecoded).
-func runOneMABCBlock(cfg MABCBitTrueConfig, k, n1, n2 int, rng *rand.Rand) (bool, bool) {
+func runOneMABCBlock(cfg MABCBitTrueConfig, k, n1, n2 int, rng *rand.Rand, sc *mabcScratch) (bool, bool) {
 	wa := gf2.RandomVector(k, rng)
 	wb := gf2.RandomVector(k, rng)
 	s, _ := wa.Xor(wb)
@@ -144,15 +153,14 @@ func runOneMABCBlock(cfg MABCBitTrueConfig, k, n1, n2 int, rng *rand.Rand) (bool
 	// the relay observes parities of the XOR message through erasures.
 	codeMAC := gf2.NewCode(n1, k, rng)
 	xs, _ := codeMAC.Encode(s) // equals Encode(wa) xor Encode(wb) by linearity
-	var relayRows []gf2.Vector
-	var relayBits []int
+	sc.rows, sc.bits = sc.rows[:0], sc.bits[:0]
 	for i := 0; i < n1; i++ {
 		if rng.Float64() >= cfg.EpsMAC {
-			relayRows = append(relayRows, codeMAC.G.Row(i))
-			relayBits = append(relayBits, xs.Bit(i))
+			sc.rows = append(sc.rows, codeMAC.G.RowView(i))
+			sc.bits = append(sc.bits, xs.Bit(i))
 		}
 	}
-	sHat, err := gf2.DecodeEquations(k, relayRows, relayBits)
+	sHat, err := gf2.DecodeEquations(k, sc.rows, sc.bits)
 	if err != nil || !sHat.Equal(s) {
 		return false, false
 	}
@@ -163,15 +171,14 @@ func runOneMABCBlock(cfg MABCBitTrueConfig, k, n1, n2 int, rng *rand.Rand) (bool
 	codeBC := gf2.NewCode(n2, k, rng)
 	xr, _ := codeBC.Encode(sHat)
 	decodeAt := func(eps float64) (gf2.Vector, bool) {
-		var rows []gf2.Vector
-		var bits []int
+		sc.rows, sc.bits = sc.rows[:0], sc.bits[:0]
 		for i := 0; i < n2; i++ {
 			if rng.Float64() >= eps {
-				rows = append(rows, codeBC.G.Row(i))
-				bits = append(bits, xr.Bit(i))
+				sc.rows = append(sc.rows, codeBC.G.RowView(i))
+				sc.bits = append(sc.bits, xr.Bit(i))
 			}
 		}
-		got, err := gf2.DecodeEquations(k, rows, bits)
+		got, err := gf2.DecodeEquations(k, sc.rows, sc.bits)
 		return got, err == nil
 	}
 	sAtA, okA := decodeAt(cfg.EpsRA)

@@ -7,7 +7,10 @@
 //
 // All simulators are deterministic given a seed: trials are sharded across a
 // bounded worker pool, each worker owning a private RNG derived from the
-// seed, and partial results are merged after the pool drains.
+// seed, and partial results are merged after the pool drains. Each worker
+// also owns a protocols.Evaluator and accumulates into preallocated slices,
+// so the per-block path (draw fading, re-solve the duration LP per protocol,
+// probe target feasibility) performs no steady-state heap allocation.
 package sim
 
 import (
@@ -65,6 +68,77 @@ type OutageResult struct {
 	ByProtocol map[protocols.Protocol]OutageStats
 }
 
+// hasTarget reports whether outage accounting is enabled — the single
+// definition used by both the workers and the result merge.
+func (cfg OutageConfig) hasTarget() bool {
+	return cfg.Target.Ra > 0 || cfg.Target.Rb > 0
+}
+
+// outageWorker owns one goroutine's share of the Monte Carlo: a private
+// fading stream, a reusable protocol evaluator, and accumulation buffers
+// indexed by protocol position (not maps) so a trial costs no allocation.
+type outageWorker struct {
+	protos    []protocols.Protocol
+	p         float64
+	target    protocols.RatePair
+	hasTarget bool
+	ev        *protocols.Evaluator
+	fading    *channel.Fading
+	sum       []float64
+	outages   []int
+	trials    int
+}
+
+// newOutageWorker derives worker w's deterministic stream from the run seed.
+func newOutageWorker(cfg OutageConfig, w int) (*outageWorker, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*0x9e3779b9))
+	fading, err := channel.NewFading(cfg.Mean, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &outageWorker{
+		protos:    cfg.Protocols,
+		p:         cfg.P,
+		target:    cfg.Target,
+		hasTarget: cfg.hasTarget(),
+		ev:        protocols.NewEvaluator(),
+		fading:    fading,
+		sum:       make([]float64, len(cfg.Protocols)),
+		outages:   make([]int, len(cfg.Protocols)),
+	}, nil
+}
+
+// runTrial simulates one fading block: draw instantaneous gains, evaluate
+// the closed-form link informations once, then re-solve the optimal-duration
+// sum-rate LP for every protocol and probe the fixed target's feasibility.
+// This is the per-block kernel the allocation regression tests and
+// BenchmarkOutageTrial measure.
+func (w *outageWorker) runTrial() error {
+	inst := w.fading.Draw()
+	li, err := protocols.LinkInfosFromScenario(protocols.Scenario{P: w.p, G: inst})
+	if err != nil {
+		return err
+	}
+	for pi, proto := range w.protos {
+		v, err := w.ev.SumRateLinks(proto, protocols.BoundInner, li)
+		if err != nil {
+			return err
+		}
+		w.sum[pi] += v
+		if w.hasTarget {
+			feas, err := w.ev.FeasibleLinks(proto, protocols.BoundInner, li, w.target)
+			if err != nil {
+				return err
+			}
+			if !feas {
+				w.outages[pi]++
+			}
+		}
+	}
+	w.trials++
+	return nil
+}
+
 // RunOutage executes the fading Monte Carlo.
 func RunOutage(cfg OutageConfig) (OutageResult, error) {
 	if cfg.Trials <= 0 {
@@ -83,15 +157,10 @@ func RunOutage(cfg OutageConfig) (OutageResult, error) {
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
-	hasTarget := cfg.Target.Ra > 0 || cfg.Target.Rb > 0
+	hasTarget := cfg.hasTarget()
 
-	type partial struct {
-		sum     map[protocols.Protocol]float64
-		outages map[protocols.Protocol]int
-		trials  int
-		err     error
-	}
-	parts := make([]partial, workers)
+	parts := make([]*outageWorker, workers)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := cfg.Trials * w / workers
@@ -99,77 +168,45 @@ func RunOutage(cfg OutageConfig) (OutageResult, error) {
 		wg.Add(1)
 		go func(w, count int) {
 			defer wg.Done()
-			pt := partial{
-				sum:     make(map[protocols.Protocol]float64, len(cfg.Protocols)),
-				outages: make(map[protocols.Protocol]int, len(cfg.Protocols)),
-			}
-			// Derive a distinct, deterministic stream per worker.
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*0x9e3779b9))
-			fading, err := channel.NewFading(cfg.Mean, rng)
+			wk, err := newOutageWorker(cfg, w)
 			if err != nil {
-				pt.err = err
-				parts[w] = pt
+				errs[w] = err
 				return
 			}
+			parts[w] = wk
 			for i := 0; i < count; i++ {
-				inst := fading.Draw()
-				s := protocols.Scenario{P: cfg.P, G: inst}
-				for _, proto := range cfg.Protocols {
-					spec, err := protocols.CompileGaussian(proto, protocols.BoundInner, s)
-					if err != nil {
-						pt.err = err
-						parts[w] = pt
-						return
-					}
-					opt, err := spec.MaxSumRate()
-					if err != nil {
-						pt.err = err
-						parts[w] = pt
-						return
-					}
-					pt.sum[proto] += opt.Objective
-					if hasTarget {
-						feas, err := spec.Feasible(cfg.Target)
-						if err != nil {
-							pt.err = err
-							parts[w] = pt
-							return
-						}
-						if !feas {
-							pt.outages[proto]++
-						}
-					}
+				if err := wk.runTrial(); err != nil {
+					errs[w] = err
+					return
 				}
-				pt.trials++
 			}
-			parts[w] = pt
 		}(w, hi-lo)
 	}
 	wg.Wait()
 
-	out := OutageResult{ByProtocol: make(map[protocols.Protocol]OutageStats, len(cfg.Protocols))}
-	total := 0
-	sums := make(map[protocols.Protocol]float64, len(cfg.Protocols))
-	outs := make(map[protocols.Protocol]int, len(cfg.Protocols))
-	for _, pt := range parts {
-		if pt.err != nil {
-			return OutageResult{}, fmt.Errorf("sim: worker failed: %w", pt.err)
-		}
-		total += pt.trials
-		for k, v := range pt.sum {
-			sums[k] += v
-		}
-		for k, v := range pt.outages {
-			outs[k] += v
+	for _, err := range errs {
+		if err != nil {
+			return OutageResult{}, fmt.Errorf("sim: worker failed: %w", err)
 		}
 	}
-	for _, proto := range cfg.Protocols {
+	out := OutageResult{ByProtocol: make(map[protocols.Protocol]OutageStats, len(cfg.Protocols))}
+	total := 0
+	for _, pt := range parts {
+		total += pt.trials
+	}
+	for pi, proto := range cfg.Protocols {
+		var sum float64
+		var outs int
+		for _, pt := range parts {
+			sum += pt.sum[pi]
+			outs += pt.outages[pi]
+		}
 		st := OutageStats{
-			MeanOptSumRate: sums[proto] / float64(total),
+			MeanOptSumRate: sum / float64(total),
 			Trials:         total,
 		}
 		if hasTarget {
-			st.OutageProb = float64(outs[proto]) / float64(total)
+			st.OutageProb = float64(outs) / float64(total)
 		}
 		out.ByProtocol[proto] = st
 	}

@@ -9,7 +9,12 @@
 //
 // with Bland's rule for anti-cycling. The LPs in this module are tiny (at
 // most a dozen variables and constraints), so clarity is preferred over
-// sparse-matrix machinery.
+// sparse-matrix machinery — but the solver is on the Monte Carlo hot path
+// (one LP per protocol per fading block), so the tableau lives in a reusable
+// Workspace and steady-state solves perform no heap allocation. Artificial
+// variables are introduced only where a starting basis actually needs them
+// (equality rows and inequality rows with negative right-hand sides), which
+// keeps phase 1 to a handful of pivots on the phase-duration LPs.
 package simplex
 
 import (
@@ -67,7 +72,8 @@ type Problem struct {
 
 // Solution is an optimal LP solution.
 type Solution struct {
-	// X is the optimal primal point.
+	// X is the optimal primal point. For SolveIn it aliases workspace
+	// memory and is valid until the workspace's next solve.
 	X []float64
 	// Objective is C·X.
 	Objective float64
@@ -81,10 +87,71 @@ const (
 	iterFactor = 200 // iteration cap multiplier on (rows + cols)
 )
 
+// Workspace holds the solver's tableau storage so repeated solves reuse one
+// set of buffers. The zero value is ready to use; it grows to fit the largest
+// problem it has seen and is then allocation-free for problems of that size
+// or smaller. A Workspace must not be used from multiple goroutines
+// concurrently.
+type Workspace struct {
+	flat  []float64   // row-major tableau backing, mRows × (nCols+1)
+	rows  [][]float64 // row headers into flat
+	obj   []float64   // phase-2 objective row (reduced costs)
+	art   []float64   // phase-1 objective row
+	basis []int       // basic variable of each row
+	x     []float64   // solution buffer returned via Solution.X
+}
+
+// ensure sizes the workspace for a tableau of mRows rows and nCols variable
+// columns (plus the RHS column) and nStruct structural variables, zeroing the
+// region that will be used.
+func (ws *Workspace) ensure(mRows, nCols, nStruct int) {
+	stride := nCols + 1
+	need := mRows * stride
+	if cap(ws.flat) < need {
+		ws.flat = make([]float64, need)
+	}
+	ws.flat = ws.flat[:need]
+	clear(ws.flat)
+	if cap(ws.rows) < mRows {
+		ws.rows = make([][]float64, mRows)
+	}
+	ws.rows = ws.rows[:mRows]
+	for i := 0; i < mRows; i++ {
+		ws.rows[i] = ws.flat[i*stride : (i+1)*stride]
+	}
+	if cap(ws.obj) < stride {
+		ws.obj = make([]float64, stride)
+		ws.art = make([]float64, stride)
+	}
+	ws.obj = ws.obj[:stride]
+	ws.art = ws.art[:stride]
+	clear(ws.obj)
+	clear(ws.art)
+	if cap(ws.basis) < mRows {
+		ws.basis = make([]int, mRows)
+	}
+	ws.basis = ws.basis[:mRows]
+	if cap(ws.x) < nStruct {
+		ws.x = make([]float64, nStruct)
+	}
+	ws.x = ws.x[:nStruct]
+	clear(ws.x)
+}
+
 // Solve maximizes the problem and returns the optimal solution. It returns
 // ErrInfeasible or ErrUnbounded wrapped with context when the LP has no
-// optimum.
+// optimum. Each call uses a fresh workspace; use SolveIn to amortize the
+// allocations across repeated solves.
 func (p Problem) Solve() (Solution, error) {
+	var ws Workspace
+	return p.SolveIn(&ws)
+}
+
+// SolveIn maximizes the problem using the given workspace's storage. Repeat
+// solves of same-shaped (or smaller) problems perform no heap allocation.
+// The returned Solution.X aliases workspace memory: it is valid until the
+// workspace's next solve, so copy it out if it must survive longer.
+func (p Problem) SolveIn(ws *Workspace) (Solution, error) {
 	n := len(p.C)
 	if n == 0 {
 		return Solution{}, fmt.Errorf("%w: empty objective", ErrShape)
@@ -103,19 +170,21 @@ func (p Problem) Solve() (Solution, error) {
 		return Solution{}, fmt.Errorf("%w: rows %d/%d vs rhs %d/%d", ErrShape, len(p.AUb), len(p.AEq), len(p.BUb), len(p.BEq))
 	}
 
-	t := newTableau(p)
+	t := newTableau(p, ws)
 	if err := t.phase1(); err != nil {
 		return Solution{}, err
 	}
 	if err := t.phase2(); err != nil {
 		return Solution{}, err
 	}
-	return t.solution(), nil
+	return t.solution(ws), nil
 }
 
 // tableau holds the dense simplex tableau. Columns are laid out as
-// [structural vars | slack vars | artificial vars | RHS]; the last two rows
-// are the phase-2 objective and the phase-1 objective.
+// [structural vars | slack vars | artificial vars | RHS]. Artificial
+// variables exist only for rows whose starting basis cannot be a slack:
+// equality rows and inequality rows whose RHS was negative (those are sign-
+// flipped, turning the slack coefficient to -1).
 type tableau struct {
 	rows      [][]float64 // constraint rows
 	obj       []float64   // phase-2 objective row (reduced costs)
@@ -128,69 +197,86 @@ type tableau struct {
 	iterCount int
 }
 
-func newTableau(p Problem) *tableau {
+func newTableau(p Problem, ws *Workspace) tableau {
 	nStruct := len(p.C)
 	nSlack := len(p.AUb)
 	mRows := len(p.AUb) + len(p.AEq)
 
-	// Artificial variables: one per equality row and per inequality row with
-	// negative RHS (after sign flip those become ≥ rows needing artificials).
-	// For simplicity every row receives an artificial; phase 1 drives them
-	// out. This is slightly wasteful but robust, and the LPs here are tiny.
-	nArt := mRows
+	// Count the rows that need an artificial basis variable: every equality
+	// row, and every inequality row whose RHS is negative (the sign flip that
+	// makes the RHS non-negative also flips its slack to -1).
+	nArt := len(p.AEq)
+	for _, b := range p.BUb {
+		if b < 0 {
+			nArt++
+		}
+	}
 	nCols := nStruct + nSlack + nArt
 
-	t := &tableau{
-		rows:    make([][]float64, mRows),
-		obj:     make([]float64, nCols+1),
-		art:     make([]float64, nCols+1),
-		basis:   make([]int, mRows),
+	ws.ensure(mRows, nCols, nStruct)
+	t := tableau{
+		rows:    ws.rows,
+		obj:     ws.obj,
+		art:     ws.art,
+		basis:   ws.basis,
 		nStruct: nStruct,
 		nSlack:  nSlack,
 		nArt:    nArt,
 		nCols:   nCols,
 	}
 
+	artNext := nStruct + nSlack // next artificial column to hand out
 	for i := 0; i < mRows; i++ {
-		row := make([]float64, nCols+1)
+		row := t.rows[i]
 		var src []float64
 		var rhs float64
-		if i < len(p.AUb) {
-			src, rhs = p.AUb[i], p.BUb[i]
-		} else {
+		isEq := i >= len(p.AUb)
+		if isEq {
 			src, rhs = p.AEq[i-len(p.AUb)], p.BEq[i-len(p.AUb)]
+		} else {
+			src, rhs = p.AUb[i], p.BUb[i]
 		}
 		copy(row, src)
-		if i < len(p.AUb) {
+		if !isEq {
 			row[nStruct+i] = 1 // slack
 		}
 		row[nCols] = rhs
-		// Normalize to a non-negative RHS so the artificial basis is feasible.
+		// Normalize to a non-negative RHS so the starting basis is feasible.
 		if row[nCols] < 0 {
 			for j := range row {
 				row[j] = -row[j]
 			}
 		}
-		row[nStruct+nSlack+i] = 1 // artificial
-		t.rows[i] = row
-		t.basis[i] = nStruct + nSlack + i
+		if isEq || (!isEq && row[nStruct+i] < 0) {
+			row[artNext] = 1
+			t.basis[i] = artNext
+			artNext++
+		} else {
+			t.basis[i] = nStruct + i
+		}
 	}
 
 	// Phase-2 objective (stored negated: we minimize -c·x).
 	for j := 0; j < nStruct; j++ {
 		t.obj[j] = -p.C[j]
 	}
-	// Phase-1 objective: minimize the sum of artificials. Express the reduced
-	// costs with the artificial basis priced out.
-	for j := 0; j <= nCols; j++ {
-		var s float64
+	if nArt > 0 {
+		// Phase-1 objective: minimize the sum of artificials. Express the
+		// reduced costs with the starting basis priced out: subtracting each
+		// artificial-basis row cancels that artificial's unit cost and leaves
+		// -Σ(rows with artificials) on the remaining columns.
 		for i := range t.rows {
-			s += t.rows[i][j]
+			if t.basis[i] < nStruct+nSlack {
+				continue
+			}
+			row := t.rows[i]
+			for j := 0; j <= nCols; j++ {
+				t.art[j] -= row[j]
+			}
 		}
-		t.art[j] = -s
-	}
-	for i := range t.rows {
-		t.art[t.basis[i]] = 0
+		for i := range t.rows {
+			t.art[t.basis[i]] = 0
+		}
 	}
 	return t
 }
@@ -220,16 +306,20 @@ func (t *tableau) pivot(row, col int) {
 			r[j] -= factor * pr[j]
 		}
 	}
-	for _, objRow := range [][]float64{t.obj, t.art} {
-		factor := objRow[col]
-		if factor != 0 {
-			for j := range objRow {
-				objRow[j] -= factor * pr[j]
-			}
-		}
-	}
+	t.eliminateObjRow(t.obj, col, pr)
+	t.eliminateObjRow(t.art, col, pr)
 	t.basis[row] = col
 	t.iterCount++
+}
+
+func (t *tableau) eliminateObjRow(objRow []float64, col int, pr []float64) {
+	factor := objRow[col]
+	if factor == 0 {
+		return
+	}
+	for j := range objRow {
+		objRow[j] -= factor * pr[j]
+	}
 }
 
 // ratioRow picks the leaving row by the minimum-ratio test with Bland
@@ -254,18 +344,33 @@ func (t *tableau) ratioRow(col int) int {
 
 // iterate runs simplex pivots against the given objective row until no
 // entering column remains. allowCols limits candidate entering columns.
+// Entering columns are picked by Dantzig's rule (most negative reduced
+// cost, fewest pivots in practice); if the iteration count ever reaches the
+// Bland threshold — which only a degenerate cycle does on these tiny LPs —
+// it switches to Bland's rule, whose termination guarantee then applies.
 func (t *tableau) iterate(objRow []float64, allowCols int) error {
 	limit := t.maxIter()
+	blandAt := limit / 2
 	for {
 		if t.iterCount > limit {
 			return ErrCycle
 		}
-		// Bland's rule: first column with a negative reduced cost.
 		col := -1
-		for j := 0; j < allowCols; j++ {
-			if objRow[j] < -pivotTol {
-				col = j
-				break
+		if t.iterCount < blandAt {
+			best := -pivotTol
+			for j := 0; j < allowCols; j++ {
+				if objRow[j] < best {
+					best = objRow[j]
+					col = j
+				}
+			}
+		} else {
+			// Bland's rule: first column with a negative reduced cost.
+			for j := 0; j < allowCols; j++ {
+				if objRow[j] < -pivotTol {
+					col = j
+					break
+				}
 			}
 		}
 		if col == -1 {
@@ -280,6 +385,9 @@ func (t *tableau) iterate(objRow []float64, allowCols int) error {
 }
 
 func (t *tableau) phase1() error {
+	if t.nArt == 0 {
+		return nil // the all-slack basis is already feasible
+	}
 	if err := t.iterate(t.art, t.nCols); err != nil {
 		if errors.Is(err, ErrUnbounded) {
 			// Phase-1 objective is bounded below by 0; unbounded here means a
@@ -326,8 +434,8 @@ func (t *tableau) phase2() error {
 	return nil
 }
 
-func (t *tableau) solution() Solution {
-	x := make([]float64, t.nStruct)
+func (t *tableau) solution(ws *Workspace) Solution {
+	x := ws.x
 	for i, b := range t.basis {
 		if b < t.nStruct {
 			x[b] = t.rows[i][t.nCols]

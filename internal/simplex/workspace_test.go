@@ -1,0 +1,153 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bicoop/internal/xmath"
+)
+
+// randomBoundedLP draws a random LP with box constraints so it always has a
+// finite optimum: maximize c·x s.t. random inequality rows plus x_i ≤ 10.
+func randomBoundedLP(rng *rand.Rand) Problem {
+	n := 2 + rng.Intn(5)
+	mIneq := 1 + rng.Intn(5)
+	p := Problem{C: make([]float64, n)}
+	for j := range p.C {
+		p.C[j] = rng.NormFloat64()
+	}
+	for i := 0; i < mIneq; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		p.AUb = append(p.AUb, row)
+		p.BUb = append(p.BUb, 2*rng.NormFloat64())
+	}
+	for j := 0; j < n; j++ {
+		row := make([]float64, n)
+		row[j] = 1
+		p.AUb = append(p.AUb, row)
+		p.BUb = append(p.BUb, 10)
+	}
+	if rng.Intn(2) == 0 {
+		// A random convex-combination equality keeps the LP interesting but
+		// feasible: sum of a random subset equals a reachable value.
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = 1
+		}
+		p.AEq = append(p.AEq, row)
+		p.BEq = append(p.BEq, 1+4*rng.Float64())
+	}
+	return p
+}
+
+// TestSolveInMatchesSolve checks the workspace entry point against the
+// allocating wrapper across random LPs, reusing one workspace throughout so
+// shape changes between solves are exercised too.
+func TestSolveInMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var ws Workspace
+	agreed := 0
+	for trial := 0; trial < 300; trial++ {
+		p := randomBoundedLP(rng)
+		ref, refErr := p.Solve()
+		got, gotErr := p.SolveIn(&ws)
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: Solve err %v vs SolveIn err %v", trial, refErr, gotErr)
+		}
+		if refErr != nil {
+			continue
+		}
+		if !xmath.ApproxEqual(ref.Objective, got.Objective, 1e-7*(1+math.Abs(ref.Objective))) {
+			t.Errorf("trial %d: objective %g vs %g", trial, ref.Objective, got.Objective)
+		}
+		agreed++
+	}
+	if agreed < 100 {
+		t.Fatalf("only %d solvable trials; generator too restrictive", agreed)
+	}
+}
+
+// TestSolveInZeroAllocs asserts the steady-state workspace solve does not
+// allocate once the workspace has grown to the problem size.
+func TestSolveInZeroAllocs(t *testing.T) {
+	p := Problem{
+		C: []float64{1, 1, 0, 0, 0},
+		AUb: [][]float64{
+			{1, 0, -1.14, 0, 0},
+			{1, 0, -0.26, 0, -2.05},
+			{0, 1, 0, -2.05, 0},
+			{0, 1, 0, -0.26, -1.0},
+			{1, 1, -1.0, -2.05, 0},
+		},
+		BUb: []float64{0, 0, 0, 0, 0},
+		AEq: [][]float64{{0, 0, 1, 1, 1}},
+		BEq: []float64{1},
+	}
+	var ws Workspace
+	if _, err := p.SolveIn(&ws); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := p.SolveIn(&ws); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("SolveIn allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestSolveInShrinkGrow reuses one workspace across alternating problem
+// sizes to catch stale-state bugs (leftover tableau entries, basis indices).
+func TestSolveInShrinkGrow(t *testing.T) {
+	big := Problem{
+		C:   []float64{3, 5, 0, 1},
+		AUb: [][]float64{{1, 0, 0, 0}, {0, 2, 0, 1}, {3, 2, 1, 0}},
+		BUb: []float64{4, 12, 18},
+	}
+	small := Problem{
+		C:   []float64{1, 1},
+		AUb: [][]float64{{1, 0}, {0, 1}},
+		BUb: []float64{2, 3},
+	}
+	var ws Workspace
+	for i := 0; i < 10; i++ {
+		bigRef, err := big.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := big.SolveIn(&ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmath.ApproxEqual(got.Objective, bigRef.Objective, 1e-9) {
+			t.Fatalf("iter %d big: %g want %g", i, got.Objective, bigRef.Objective)
+		}
+		got, err = small.SolveIn(&ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmath.ApproxEqual(got.Objective, 5, 1e-9) {
+			t.Fatalf("iter %d small: %g want 5", i, got.Objective)
+		}
+	}
+}
+
+// TestSolveInStatuses checks infeasible and unbounded detection through the
+// workspace path.
+func TestSolveInStatuses(t *testing.T) {
+	var ws Workspace
+	// x ≥ 0 with x ≤ -1 is infeasible.
+	_, err := (Problem{C: []float64{1}, AUb: [][]float64{{1}}, BUb: []float64{-1}}).SolveIn(&ws)
+	if err == nil {
+		t.Error("infeasible LP solved")
+	}
+	// maximize x with no constraints is unbounded.
+	_, err = (Problem{C: []float64{1}}).SolveIn(&ws)
+	if err == nil {
+		t.Error("unbounded LP solved")
+	}
+}

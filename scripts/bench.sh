@@ -1,0 +1,23 @@
+#!/bin/sh
+# bench.sh — run the performance-ledger benchmark set and write a JSON
+# snapshot (see cmd/benchjson). Usage:
+#
+#   ./scripts/bench.sh BENCH_after.json [benchtime]
+#
+# The set covers the LP hot path at three levels: raw simplex solve, one
+# evaluator solve per protocol, the Monte Carlo per-block kernel, and the
+# figure-level sweeps (Fig 3 relay placement, MABC/TDBC crossover, fading
+# Monte Carlo).
+set -eu
+
+out="${1:-BENCH.json}"
+benchtime="${2:-200x}"
+cd "$(dirname "$0")/.."
+
+pattern='BenchmarkSimplexSolve$|BenchmarkEvaluatorSolve|BenchmarkEvaluatorFeasible$|BenchmarkOutageTrial$|BenchmarkSumRateLP$|BenchmarkFeasibility$|BenchmarkOutageBlock$|BenchmarkFig3$|BenchmarkSNRCrossover$|BenchmarkFadingOutage$'
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
+    . ./internal/protocols/ ./internal/sim/ ./internal/simplex/ \
+    | tee /dev/stderr \
+    | go run ./cmd/benchjson > "$out"
+echo "wrote $out" >&2
