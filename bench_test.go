@@ -86,8 +86,10 @@ func BenchmarkPathLossAblation(b *testing.B) { benchExperiment(b, "pathloss") }
 // BenchmarkFadingOutage runs the Rayleigh fading Monte Carlo.
 func BenchmarkFadingOutage(b *testing.B) { benchExperiment(b, "fading") }
 
-// BenchmarkBitTrueTDBC runs the bit-true waterfall experiment.
-func BenchmarkBitTrueTDBC(b *testing.B) { benchExperiment(b, "bitsim") }
+// BenchmarkBitsimTDBC runs the bit-true waterfall experiment end to end
+// (the kernel-level bit-true benchmarks live in internal/sim as
+// BenchmarkBitTrueTDBC*).
+func BenchmarkBitsimTDBC(b *testing.B) { benchExperiment(b, "bitsim") }
 
 // BenchmarkDMCBounds evaluates the theorems on the all-BSC network.
 func BenchmarkDMCBounds(b *testing.B) { benchExperiment(b, "dmc") }
@@ -265,8 +267,10 @@ func BenchmarkOutageBlock(b *testing.B) {
 // BenchmarkBaselines runs the AF / full-duplex baseline comparison sweep.
 func BenchmarkBaselines(b *testing.B) { benchExperiment(b, "baselines") }
 
-// BenchmarkBitTrueMABC runs the compute-and-forward MABC waterfall.
-func BenchmarkBitTrueMABC(b *testing.B) { benchExperiment(b, "bitsim-mabc") }
+// BenchmarkBitsimMABC runs the compute-and-forward MABC waterfall
+// experiment end to end (kernel-level counterpart: internal/sim's
+// BenchmarkBitTrueMABC*).
+func BenchmarkBitsimMABC(b *testing.B) { benchExperiment(b, "bitsim-mabc") }
 
 // BenchmarkBER runs the symbol-level BER validation sweep.
 func BenchmarkBER(b *testing.B) { benchExperiment(b, "ber") }

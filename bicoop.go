@@ -400,13 +400,18 @@ type BitTrueTDBCConfig struct {
 	BlockLength int
 	// Trials is the number of independent blocks.
 	Trials int
-	// Seed drives the simulation deterministically.
+	// Seed drives the simulation deterministically (for a fixed Workers).
 	Seed int64
+	// Workers bounds the goroutines sharding the trials; non-positive means
+	// GOMAXPROCS. Results are deterministic per (Seed, Trials, Workers);
+	// changing Workers reshards the per-trial random streams.
+	Workers int
 }
 
 // SimulateBitTrueTDBC runs the TDBC protocol bit by bit over erasure links:
 // random linear codes, overheard side information, XOR network coding at the
-// relay, Gaussian-elimination decoding.
+// relay, Gaussian-elimination decoding. Trials are sharded across Workers
+// goroutines.
 func SimulateBitTrueTDBC(cfg BitTrueTDBCConfig) (BitTrueResult, error) {
 	res, err := sim.RunBitTrueTDBC(sim.BitTrueConfig{
 		Net:         sim.ErasureNetwork{EpsAR: cfg.Links.EpsAR, EpsBR: cfg.Links.EpsBR, EpsAB: cfg.Links.EpsAB},
@@ -415,6 +420,7 @@ func SimulateBitTrueTDBC(cfg BitTrueTDBCConfig) (BitTrueResult, error) {
 		BlockLength: cfg.BlockLength,
 		Trials:      cfg.Trials,
 		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
 	})
 	if err != nil {
 		return BitTrueResult{}, fmt.Errorf("bicoop: %w", err)
@@ -485,17 +491,36 @@ func (l MABCComputeForwardLinks) ComputeForwardBound() (rate float64, durations 
 	return sim.MABCComputeForwardBound(l.EpsMAC, l.EpsRA, l.EpsRB)
 }
 
+// BitTrueMABCConfig parameterizes a compute-and-forward MABC run.
+type BitTrueMABCConfig struct {
+	// Links is the MAC/broadcast erasure network.
+	Links MABCComputeForwardLinks
+	// Rate is the common per-terminal message rate in bits per channel use.
+	Rate float64
+	// BlockLength is the number of channel uses per block.
+	BlockLength int
+	// Trials is the number of independent blocks.
+	Trials int
+	// Seed drives the simulation deterministically (for a fixed Workers).
+	Seed int64
+	// Workers bounds the goroutines sharding the trials; non-positive means
+	// GOMAXPROCS. Results are deterministic per (Seed, Trials, Workers).
+	Workers int
+}
+
 // SimulateBitTrueMABC runs the compute-and-forward MABC protocol bit by
 // bit: both terminals transmit parities of their messages over a shared
 // linear code simultaneously, the relay decodes only the XOR
-// (physical-layer network coding) and rebroadcasts it.
-func SimulateBitTrueMABC(links MABCComputeForwardLinks, rate float64, blockLength, trials int, seed int64) (BitTrueResult, error) {
+// (physical-layer network coding) and rebroadcasts it. Trials are sharded
+// across cfg.Workers goroutines.
+func SimulateBitTrueMABC(cfg BitTrueMABCConfig) (BitTrueResult, error) {
 	res, err := sim.RunBitTrueMABC(sim.MABCBitTrueConfig{
-		EpsMAC: links.EpsMAC, EpsRA: links.EpsRA, EpsRB: links.EpsRB,
-		Rate:        rate,
-		BlockLength: blockLength,
-		Trials:      trials,
-		Seed:        seed,
+		EpsMAC: cfg.Links.EpsMAC, EpsRA: cfg.Links.EpsRA, EpsRB: cfg.Links.EpsRB,
+		Rate:        cfg.Rate,
+		BlockLength: cfg.BlockLength,
+		Trials:      cfg.Trials,
+		Seed:        cfg.Seed,
+		Workers:     cfg.Workers,
 	})
 	if err != nil {
 		return BitTrueResult{}, fmt.Errorf("bicoop: %w", err)

@@ -225,6 +225,7 @@ func TestSimulateBitTrueTDBCFacade(t *testing.T) {
 		BlockLength: 1500,
 		Trials:      10,
 		Seed:        7,
+		Workers:     2, // exercises the facade plumb-through deterministically
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -336,21 +337,31 @@ func TestComputeForwardMABCFacade(t *testing.T) {
 	if bound <= 0 || len(durations) != 2 {
 		t.Fatalf("bound %v durations %v", bound, durations)
 	}
-	res, err := SimulateBitTrueMABC(links, bound*0.8, 2000, 12, 3)
+	run := func(rate float64) (BitTrueResult, error) {
+		return SimulateBitTrueMABC(BitTrueMABCConfig{
+			Links: links, Rate: rate,
+			BlockLength: 2000, Trials: 12, Seed: 3,
+			Workers: 2, // pinned so results do not depend on GOMAXPROCS
+		})
+	}
+	res, err := run(bound * 0.8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.SuccessProb < 0.9 {
 		t.Errorf("success %v at 80%% of the bound", res.SuccessProb)
 	}
-	fail, err := SimulateBitTrueMABC(links, bound*1.2, 2000, 12, 3)
+	fail, err := run(bound * 1.2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fail.SuccessProb > 0.1 {
 		t.Errorf("success %v at 120%% of the bound, want ~0", fail.SuccessProb)
 	}
-	if _, err := SimulateBitTrueMABC(MABCComputeForwardLinks{EpsMAC: -1}, 0.1, 100, 2, 1); err == nil {
+	if _, err := SimulateBitTrueMABC(BitTrueMABCConfig{
+		Links: MABCComputeForwardLinks{EpsMAC: -1},
+		Rate:  0.1, BlockLength: 100, Trials: 2, Seed: 1,
+	}); err == nil {
 		t.Error("want error for invalid links")
 	}
 }

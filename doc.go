@@ -38,24 +38,38 @@
 // solves the two- and three-phase bounds (DT, MABC, TDBC) in closed form by
 // candidate-vertex enumeration, and falls back to a reusable-workspace
 // simplex (internal/simplex.Workspace, Problem.SolveIn) for Naive4/HBC.
-// Allocation regressions are pinned by testing.AllocsPerRun tests next to
-// the hot paths (internal/protocols, internal/sim, internal/simplex).
+//
+// The bit-true simulators are word-parallel and sharded: internal/gf2 packs
+// rows into flat []uint64 matrices redrawn in place per block
+// (Matrix.Rerandomize), decodes through a reusable word-level elimination
+// tableau (gf2.Solver.SolveInto and the SolveConsistentInto early-stop
+// variant for noiseless erasure observations), and the TDBC/MABC trial
+// loops run on a worker pool with per-worker RNGs, codes, and scratch —
+// zero allocations per block. Allocation regressions are pinned by
+// testing.AllocsPerRun tests next to the hot paths (internal/protocols,
+// internal/sim, internal/simplex, internal/gf2).
 //
 // Start perf work from a profile, not a guess:
 //
-//	# profile a real workload through the CLI
+//	# profile a real workload through the CLI (also for bit-true runs:
+//	# -workers caps GOMAXPROCS, which bounds every simulator's pool)
 //	go run ./cmd/bcc run fading -workers 1 -cpuprofile /tmp/cpu.prof
+//	go run ./cmd/bcc run bitsim -workers 8 -cpuprofile /tmp/bitsim.prof
 //	go tool pprof -top /tmp/cpu.prof
 //
 //	# or profile the micro-benchmarks around the kernel you are changing
 //	go test ./internal/sim/ -run '^$' -bench BenchmarkOutageTrial \
 //	    -benchmem -cpuprofile /tmp/trial.prof
-//	go tool pprof -top /tmp/trial.prof
+//	go test ./internal/sim/ -run '^$' -bench BenchmarkBitTrueTDBCBlock \
+//	    -benchmem -cpuprofile /tmp/block.prof
+//	go test ./internal/sim/ -run '^$' -bench 'BenchmarkBitTrue(TDBC|MABC)(Parallel)?$' \
+//	    -benchtime 10x -benchmem   # full runs, sequential vs sharded
+//	go tool pprof -top /tmp/block.prof
 //
 //	# record the before/after ledger (writes BENCH_*.json)
 //	./scripts/bench.sh BENCH_after.json
 //
-// BENCH_baseline.json (the first buildable revision) and BENCH_after.json
+// BENCH_baseline.json (the pre-optimization revision) and BENCH_after.json
 // (current) are committed at the repo root; keep them in sync with scripts/
 // bench.sh when a PR changes performance-relevant code.
 package bicoop

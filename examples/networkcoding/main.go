@@ -54,6 +54,7 @@ func main() {
 			BlockLength: blockLength,
 			Trials:      trials,
 			Seed:        7,
+			Workers:     1, // pinned: the printed numbers stay machine-independent
 		})
 		if err != nil {
 			log.Fatal(err)

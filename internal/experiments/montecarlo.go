@@ -116,6 +116,10 @@ func runBitSim(cfg Config) (Result, error) {
 			BlockLength: blockLen,
 			Trials:      trials,
 			Seed:        cfg.Seed + int64(i),
+			// A fixed worker count (not GOMAXPROCS) keeps the table and the
+			// waterfall finding seed-reproducible across machines while
+			// still sharding on multi-core hosts.
+			Workers: 8,
 		})
 		if err != nil {
 			return Result{}, err

@@ -4,6 +4,13 @@
 // random coding and random binning are realized as random linear maps and
 // maximum-likelihood decoding over erasure links reduces to solving a linear
 // system.
+//
+// The hot-path entry points are the in-place ones: Matrix.Rerandomize redraws
+// a generator without allocating, Solver.SolveInto eliminates in a persistent
+// word-level tableau, and the Vector methods Randomize, CopyPrefix, XorWith
+// and the Dot function operate on whole 64-bit words. The original
+// allocate-per-call API (RandomMatrix, Matrix.Solve, DecodeEquations, ...)
+// remains as thin wrappers.
 package gf2
 
 import (
@@ -20,7 +27,12 @@ var (
 	ErrUnderdetermined = errors.New("gf2: underdetermined linear system")
 )
 
-// Vector is a packed bit vector of fixed logical length.
+// wordsFor returns the number of 64-bit words packing n bits.
+func wordsFor(n int) int { return (n + 63) / 64 }
+
+// Vector is a packed bit vector of fixed logical length. The words beyond
+// the logical length are kept zero (the invariant every word-level operation
+// in this package relies on).
 type Vector struct {
 	n     int
 	words []uint64
@@ -28,17 +40,23 @@ type Vector struct {
 
 // NewVector returns an all-zero vector of n bits.
 func NewVector(n int) Vector {
-	return Vector{n: n, words: make([]uint64, (n+63)/64)}
+	return Vector{n: n, words: make([]uint64, wordsFor(n))}
 }
 
 // RandomVector returns a uniformly random n-bit vector drawn from r.
 func RandomVector(n int, r *rand.Rand) Vector {
 	v := NewVector(n)
+	v.Randomize(r)
+	return v
+}
+
+// Randomize refills v with uniformly random bits drawn from r, in place.
+// It consumes exactly one Uint64 per backing word, like RandomVector.
+func (v *Vector) Randomize(r *rand.Rand) {
 	for i := range v.words {
 		v.words[i] = r.Uint64()
 	}
 	v.maskTail()
-	return v
 }
 
 // VectorFromBits builds a vector from a bool slice.
@@ -87,6 +105,49 @@ func (v Vector) Xor(w Vector) (Vector, error) {
 	return out, nil
 }
 
+// XorWith adds w into v in place (v ^= w), zero-extending w when it is
+// shorter than v. It is the allocation-free companion of Xor for hot loops
+// (stripping known side information, accumulating a padded XOR).
+func (v *Vector) XorWith(w Vector) error {
+	if w.n > v.n {
+		return fmt.Errorf("%w: xor of %d bits into %d", ErrShape, w.n, v.n)
+	}
+	for i := range w.words {
+		v.words[i] ^= w.words[i]
+	}
+	return nil
+}
+
+// CopyPrefix fills v with the first v.Len() bits of src, zero-padding when
+// src is shorter than v. It is the word-level primitive behind both row
+// truncation (v shorter than src) and zero-padded embedding (v longer).
+func (v *Vector) CopyPrefix(src Vector) {
+	nw := len(src.words)
+	if len(v.words) < nw {
+		nw = len(v.words)
+	}
+	copy(v.words[:nw], src.words[:nw])
+	for i := nw; i < len(v.words); i++ {
+		v.words[i] = 0
+	}
+	v.maskTail()
+}
+
+// Dot returns the GF(2) inner product of the overlapping prefix of a and b
+// (bits past the shorter vector's length contribute nothing). Word-level:
+// XOR of per-word ANDs, then one popcount parity.
+func Dot(a, b Vector) int {
+	nw := len(a.words)
+	if len(b.words) < nw {
+		nw = len(b.words)
+	}
+	var acc uint64
+	for i := 0; i < nw; i++ {
+		acc ^= a.words[i] & b.words[i]
+	}
+	return bits.OnesCount64(acc) & 1
+}
+
 // Equal reports bitwise equality.
 func (v Vector) Equal(w Vector) bool {
 	if v.n != w.n {
@@ -125,35 +186,51 @@ func (v Vector) String() string {
 	return string(buf)
 }
 
-// Matrix is a dense GF(2) matrix with packed rows.
+// Matrix is a dense GF(2) matrix backed by a single flat []uint64, packed
+// row-major with a fixed word stride per row. The flat backing is what makes
+// in-place re-randomization and row views allocation-free.
 type Matrix struct {
 	rows, cols int
-	data       []Vector
+	stride     int // words per row
+	words      []uint64
 }
 
 // NewMatrix returns an all-zero rows-by-cols matrix.
 func NewMatrix(rows, cols int) Matrix {
-	m := Matrix{rows: rows, cols: cols, data: make([]Vector, rows)}
-	for i := range m.data {
-		m.data[i] = NewVector(cols)
-	}
-	return m
+	s := wordsFor(cols)
+	return Matrix{rows: rows, cols: cols, stride: s, words: make([]uint64, rows*s)}
 }
 
 // RandomMatrix returns a uniformly random rows-by-cols matrix.
 func RandomMatrix(rows, cols int, r *rand.Rand) Matrix {
-	m := Matrix{rows: rows, cols: cols, data: make([]Vector, rows)}
-	for i := range m.data {
-		m.data[i] = RandomVector(cols, r)
-	}
+	m := NewMatrix(rows, cols)
+	m.Rerandomize(r)
 	return m
+}
+
+// Rerandomize redraws every entry uniformly at random, in place: no
+// allocation, same row-major draw order (one Uint64 per word) as
+// RandomMatrix. This is how the bit-true simulator draws its three fresh
+// codes per block without reallocating the generators. Row views and
+// Received observations taken from the matrix before the redraw alias the
+// new contents afterwards.
+func (m *Matrix) Rerandomize(r *rand.Rand) {
+	for i := 0; i < m.rows; i++ {
+		row := m.RowView(i)
+		row.Randomize(r)
+	}
+}
+
+// rowWords returns row i's backing words.
+func (m Matrix) rowWords(i int) []uint64 {
+	return m.words[i*m.stride : (i+1)*m.stride]
 }
 
 // Identity returns the n-by-n identity.
 func Identity(n int) Matrix {
 	m := NewMatrix(n, n)
 	for i := 0; i < n; i++ {
-		m.data[i].Set(i, 1)
+		m.Set(i, i, 1)
 	}
 	return m
 }
@@ -165,128 +242,100 @@ func (m Matrix) Rows() int { return m.rows }
 func (m Matrix) Cols() int { return m.cols }
 
 // At returns entry (i, j).
-func (m Matrix) At(i, j int) int { return m.data[i].Bit(j) }
+func (m Matrix) At(i, j int) int {
+	return int(m.words[i*m.stride+j/64] >> (j % 64) & 1)
+}
 
 // Set sets entry (i, j).
-func (m *Matrix) Set(i, j, b int) { m.data[i].Set(j, b) }
+func (m *Matrix) Set(i, j, b int) {
+	if b != 0 {
+		m.words[i*m.stride+j/64] |= 1 << (j % 64)
+	} else {
+		m.words[i*m.stride+j/64] &^= 1 << (j % 64)
+	}
+}
 
 // Row returns a copy of row i.
-func (m Matrix) Row(i int) Vector { return m.data[i].Clone() }
+func (m Matrix) Row(i int) Vector { return m.RowView(i).Clone() }
 
 // RowView returns row i sharing the matrix's storage. The caller must treat
 // it as read-only; it is the allocation-free companion of Row for hot loops
-// that only read rows (e.g. accumulating decode equations, which AppendRow
-// clones anyway).
-func (m Matrix) RowView(i int) Vector { return m.data[i] }
+// that only read rows (e.g. accumulating decode equations). A later
+// AppendRow may move the backing array, so views should not outlive
+// structural changes to the matrix.
+func (m Matrix) RowView(i int) Vector {
+	return Vector{n: m.cols, words: m.rowWords(i)}
+}
 
 // AppendRow appends a copy of row v; v must have m.cols bits.
 func (m *Matrix) AppendRow(v Vector) error {
 	if v.n != m.cols {
 		return fmt.Errorf("%w: row has %d bits, matrix has %d cols", ErrShape, v.n, m.cols)
 	}
-	m.data = append(m.data, v.Clone())
+	m.words = append(m.words, v.words...)
 	m.rows++
 	return nil
 }
 
 // Clone returns a deep copy.
 func (m Matrix) Clone() Matrix {
-	out := Matrix{rows: m.rows, cols: m.cols, data: make([]Vector, m.rows)}
-	for i := range m.data {
-		out.data[i] = m.data[i].Clone()
-	}
+	out := Matrix{rows: m.rows, cols: m.cols, stride: m.stride, words: make([]uint64, len(m.words))}
+	copy(out.words, m.words)
 	return out
 }
 
 // MulVec returns m·x over GF(2); x must have m.cols bits. The result has
 // m.rows bits, one parity per row.
 func (m Matrix) MulVec(x Vector) (Vector, error) {
-	if x.n != m.cols {
-		return Vector{}, fmt.Errorf("%w: vector %d bits, matrix %d cols", ErrShape, x.n, m.cols)
-	}
 	out := NewVector(m.rows)
-	for i, row := range m.data {
-		var acc uint64
-		for w := range row.words {
-			acc ^= row.words[w] & x.words[w]
-		}
-		out.Set(i, bits.OnesCount64(acc)%2)
+	if err := m.MulVecInto(&out, x); err != nil {
+		return Vector{}, err
 	}
 	return out, nil
 }
 
-// Rank returns the GF(2) rank of the matrix.
-func (m Matrix) Rank() int {
-	work := m.Clone()
-	rank, _ := work.eliminate(nil)
-	return rank
+// MulVecInto computes m·x into dst without allocating; dst must have m.rows
+// bits and x must have m.cols bits.
+func (m Matrix) MulVecInto(dst *Vector, x Vector) error {
+	if x.n != m.cols {
+		return fmt.Errorf("%w: vector %d bits, matrix %d cols", ErrShape, x.n, m.cols)
+	}
+	if dst.n != m.rows {
+		return fmt.Errorf("%w: dst %d bits, matrix %d rows", ErrShape, dst.n, m.rows)
+	}
+	for i := range dst.words {
+		dst.words[i] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.rowWords(i)
+		var acc uint64
+		for w, xw := range x.words {
+			acc ^= row[w] & xw
+		}
+		dst.words[i/64] |= uint64(bits.OnesCount64(acc)&1) << (i % 64)
+	}
+	return nil
 }
 
-// eliminate performs forward Gaussian elimination in place, optionally
-// carrying an RHS vector (one bit per row) through the same row operations.
-// It returns the rank and the pivot column of each pivot row.
-func (m *Matrix) eliminate(rhs *Vector) (int, []int) {
-	pivots := make([]int, 0, m.rows)
-	rank := 0
-	for col := 0; col < m.cols && rank < m.rows; col++ {
-		// Find a pivot at or below row `rank`.
-		sel := -1
-		for i := rank; i < m.rows; i++ {
-			if m.data[i].Bit(col) == 1 {
-				sel = i
-				break
-			}
-		}
-		if sel == -1 {
-			continue
-		}
-		m.data[rank], m.data[sel] = m.data[sel], m.data[rank]
-		if rhs != nil && sel != rank {
-			rb, sb := rhs.Bit(rank), rhs.Bit(sel)
-			rhs.Set(rank, sb)
-			rhs.Set(sel, rb)
-		}
-		// Eliminate this column from all other rows (full reduction keeps
-		// back-substitution trivial).
-		for i := 0; i < m.rows; i++ {
-			if i != rank && m.data[i].Bit(col) == 1 {
-				for w := range m.data[i].words {
-					m.data[i].words[w] ^= m.data[rank].words[w]
-				}
-				if rhs != nil {
-					rhs.Set(i, rhs.Bit(i)^rhs.Bit(rank))
-				}
-			}
-		}
-		pivots = append(pivots, col)
-		rank++
-	}
-	return rank, pivots
+// Rank returns the GF(2) rank of the matrix.
+func (m Matrix) Rank() int {
+	var s Solver
+	return s.Rank(m)
 }
 
 // Solve finds x with m·x = b (b has m.rows bits). It returns
 // ErrInconsistent when no solution exists and ErrUnderdetermined when the
 // solution is not unique; the bit-true decoder treats both as decoding
-// failures.
+// failures. Solve allocates per call; hot loops should hold a Solver and
+// use SolveInto.
 func (m Matrix) Solve(b Vector) (Vector, error) {
 	if b.n != m.rows {
 		return Vector{}, fmt.Errorf("%w: rhs %d bits, matrix %d rows", ErrShape, b.n, m.rows)
 	}
-	work := m.Clone()
-	rhs := b.Clone()
-	rank, pivots := work.eliminate(&rhs)
-	// Inconsistency: a zero row with a non-zero RHS bit.
-	for i := rank; i < work.rows; i++ {
-		if rhs.Bit(i) == 1 {
-			return Vector{}, ErrInconsistent
-		}
-	}
-	if rank < m.cols {
-		return Vector{}, fmt.Errorf("%w: rank %d of %d columns", ErrUnderdetermined, rank, m.cols)
-	}
+	var s Solver
 	x := NewVector(m.cols)
-	for i, col := range pivots {
-		x.Set(col, rhs.Bit(i))
+	if err := s.SolveMatrixInto(&x, m, b); err != nil {
+		return Vector{}, err
 	}
 	return x, nil
 }
@@ -305,6 +354,9 @@ func NewCode(n, k int, r *rand.Rand) Code {
 	return Code{G: RandomMatrix(n, k, r)}
 }
 
+// Rerandomize redraws the generator in place (see Matrix.Rerandomize).
+func (c *Code) Rerandomize(r *rand.Rand) { c.G.Rerandomize(r) }
+
 // N returns the block length.
 func (c Code) N() int { return c.G.rows }
 
@@ -316,6 +368,12 @@ func (c Code) Encode(w Vector) (Vector, error) {
 	return c.G.MulVec(w)
 }
 
+// EncodeInto maps a k-bit message to its n-bit codeword in dst without
+// allocating; dst must have N() bits.
+func (c Code) EncodeInto(dst *Vector, w Vector) error {
+	return c.G.MulVecInto(dst, w)
+}
+
 // Received is a partially erased codeword observation: for every surviving
 // position i, the pair (row G[i], bit x[i]) is one linear equation about w.
 type Received struct {
@@ -324,7 +382,10 @@ type Received struct {
 }
 
 // Observe applies an erasure pattern to a codeword: erased[i] true means
-// position i was lost. The surviving equations are returned.
+// position i was lost. The surviving equations are returned. The rows are
+// read-only views of the generator (RowView), not copies: the decoder only
+// reads them, and they stay valid until the generator is mutated — a later
+// Rerandomize or AppendRow invalidates an outstanding Received.
 func (c Code) Observe(x Vector, erased []bool) (Received, error) {
 	if x.n != c.N() || len(erased) != c.N() {
 		return Received{}, fmt.Errorf("%w: codeword %d bits, erasures %d, n %d", ErrShape, x.n, len(erased), c.N())
@@ -332,7 +393,7 @@ func (c Code) Observe(x Vector, erased []bool) (Received, error) {
 	var rec Received
 	for i := 0; i < c.N(); i++ {
 		if !erased[i] {
-			rec.Rows = append(rec.Rows, c.G.Row(i))
+			rec.Rows = append(rec.Rows, c.G.RowView(i))
 			rec.Bits = append(rec.Bits, x.Bit(i))
 		}
 	}
@@ -343,19 +404,15 @@ func (c Code) Observe(x Vector, erased []bool) (Received, error) {
 // k-bit message: rows[i]·w = bits[i]. This is the general decoder used by
 // the protocol simulator, where a node may pool equations from several
 // phases (its own transmissions, overheard side information, and the relay
-// broadcast) before solving.
+// broadcast) before solving. It allocates a fresh Solver per call; hot
+// loops should hold a Solver and use SolveInto.
 func DecodeEquations(k int, rows []Vector, rowBits []int) (Vector, error) {
-	m := NewMatrix(0, k)
-	for _, row := range rows {
-		if err := m.AppendRow(row); err != nil {
-			return Vector{}, err
-		}
+	var s Solver
+	x := NewVector(k)
+	if err := s.SolveInto(&x, k, rows, rowBits); err != nil {
+		return Vector{}, err
 	}
-	b := NewVector(len(rowBits))
-	for i, bit := range rowBits {
-		b.Set(i, bit)
-	}
-	return m.Solve(b)
+	return x, nil
 }
 
 // Decode recovers the message from a Received observation.

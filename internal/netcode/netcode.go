@@ -129,11 +129,22 @@ func PadCombine(wa, wb gf2.Vector) gf2.Vector {
 		n = wb.Len()
 	}
 	out := gf2.NewVector(n)
-	for i := 0; i < wa.Len(); i++ {
-		out.Set(i, wa.Bit(i))
-	}
-	for i := 0; i < wb.Len(); i++ {
-		out.Set(i, out.Bit(i)^wb.Bit(i))
-	}
+	// Lengths are max by construction, so PadCombineInto cannot fail.
+	_ = PadCombineInto(&out, wa, wb)
 	return out
+}
+
+// PadCombineInto computes the zero-padded XOR wa ⊕ wb into dst without
+// allocating; dst must have max(len(wa), len(wb)) bits. This is the relay's
+// per-block combining step in the bit-true simulator, done word-by-word.
+func PadCombineInto(dst *gf2.Vector, wa, wb gf2.Vector) error {
+	n := wa.Len()
+	if wb.Len() > n {
+		n = wb.Len()
+	}
+	if dst.Len() != n {
+		return fmt.Errorf("netcode: pad-combine into %d bits, want %d", dst.Len(), n)
+	}
+	dst.CopyPrefix(wa)
+	return dst.XorWith(wb)
 }

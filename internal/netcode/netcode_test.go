@@ -223,3 +223,25 @@ func TestPadCombine(t *testing.T) {
 		t.Error("node b failed to recover wa")
 	}
 }
+
+func TestPadCombineInto(t *testing.T) {
+	// The in-place variant must agree with PadCombine for every length
+	// ordering, and reject a wrongly sized destination.
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		la, lb := 1+r.Intn(150), 1+r.Intn(150)
+		wa, wb := gf2.RandomVector(la, r), gf2.RandomVector(lb, r)
+		want := PadCombine(wa, wb)
+		dst := gf2.RandomVector(want.Len(), r) // junk pre-fill
+		if err := PadCombineInto(&dst, wa, wb); err != nil {
+			t.Fatal(err)
+		}
+		if !dst.Equal(want) {
+			t.Fatalf("trial %d (la=%d lb=%d): PadCombineInto mismatch", trial, la, lb)
+		}
+	}
+	short := gf2.NewVector(3)
+	if err := PadCombineInto(&short, gf2.NewVector(5), gf2.NewVector(4)); err == nil {
+		t.Error("want error for undersized destination")
+	}
+}

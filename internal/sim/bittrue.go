@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"bicoop/internal/gf2"
 	"bicoop/internal/netcode"
@@ -67,8 +69,17 @@ type BitTrueConfig struct {
 	BlockLength int
 	// Trials is the number of independent blocks.
 	Trials int
-	// Seed makes the run reproducible.
+	// Seed makes the run reproducible: results are deterministic for a
+	// fixed (Seed, Trials, Workers) triple.
 	Seed int64
+	// Workers bounds the worker pool sharding the trials; non-positive
+	// means GOMAXPROCS. Each worker owns an RNG derived from Seed (worker
+	// w uses Seed + w*workerSeedStride), its own codes, and its own
+	// elimination scratch. Workers == 1 reproduces the historical
+	// sequential engine's stream bit for bit; with more workers the
+	// per-trial random stream differs (only the trial sharding changes,
+	// exactly as the fading Monte Carlo documents for its workers).
+	Workers int
 }
 
 // BitTrueResult reports bit-true decoding outcomes.
@@ -90,223 +101,298 @@ type BitTrueResult struct {
 // ErrInfeasibleRates is returned when no durations support the target rates.
 var ErrInfeasibleRates = errors.New("sim: target rates outside the TDBC inner bound")
 
-// RunBitTrueTDBC executes the TDBC protocol bit by bit: random linear codes
-// at all three encoders, random erasures on every link, overheard side
-// information retained at the terminals, XOR network coding at the relay
-// (zero-padded to the longer message per the paper's group construction),
-// and Gaussian-elimination decoding that pools all equations a node holds.
-func RunBitTrueTDBC(cfg BitTrueConfig) (BitTrueResult, error) {
+// tdbcParams are the integer block dimensions of one TDBC run, derived once
+// from the config and shared by every worker.
+type tdbcParams struct {
+	ka, kb, kr int
+	n1, n2, n3 int
+}
+
+// deriveTDBCParams validates the config and resolves durations and block
+// dimensions.
+func deriveTDBCParams(cfg BitTrueConfig) (tdbcParams, []float64, error) {
 	if err := cfg.Net.Validate(); err != nil {
-		return BitTrueResult{}, err
+		return tdbcParams{}, nil, err
 	}
 	if cfg.BlockLength <= 0 {
-		return BitTrueResult{}, fmt.Errorf("sim: block length %d", cfg.BlockLength)
+		return tdbcParams{}, nil, fmt.Errorf("sim: block length %d", cfg.BlockLength)
 	}
 	if cfg.Trials <= 0 {
-		return BitTrueResult{}, ErrNoTrials
+		return tdbcParams{}, nil, ErrNoTrials
 	}
 	if cfg.Rates.Ra < 0 || cfg.Rates.Rb < 0 {
-		return BitTrueResult{}, fmt.Errorf("sim: negative rates %+v", cfg.Rates)
+		return tdbcParams{}, nil, fmt.Errorf("sim: negative rates %+v", cfg.Rates)
 	}
 
 	durations := cfg.Durations
 	if durations == nil {
 		spec, err := protocols.Compile(protocols.TDBC, protocols.BoundInner, cfg.Net.LinkInfos())
 		if err != nil {
-			return BitTrueResult{}, err
+			return tdbcParams{}, nil, err
 		}
 		durations, err = spec.DurationsFor(cfg.Rates)
 		if err != nil {
-			return BitTrueResult{}, fmt.Errorf("%w: %v", ErrInfeasibleRates, err)
+			return tdbcParams{}, nil, fmt.Errorf("%w: %v", ErrInfeasibleRates, err)
 		}
 	}
 	if len(durations) != 3 {
-		return BitTrueResult{}, fmt.Errorf("sim: TDBC needs 3 durations, got %d", len(durations))
+		return tdbcParams{}, nil, fmt.Errorf("sim: TDBC needs 3 durations, got %d", len(durations))
 	}
 
 	n := cfg.BlockLength
-	n1 := int(math.Round(durations[0] * float64(n)))
-	n2 := int(math.Round(durations[1] * float64(n)))
-	n3 := n - n1 - n2
-	if n3 < 0 {
-		n3 = 0
+	p := tdbcParams{
+		n1: int(math.Round(durations[0] * float64(n))),
+		n2: int(math.Round(durations[1] * float64(n))),
+		ka: int(math.Floor(cfg.Rates.Ra * float64(n))),
+		kb: int(math.Floor(cfg.Rates.Rb * float64(n))),
 	}
-	ka := int(math.Floor(cfg.Rates.Ra * float64(n)))
-	kb := int(math.Floor(cfg.Rates.Rb * float64(n)))
-	if ka == 0 && kb == 0 {
-		return BitTrueResult{}, fmt.Errorf("sim: block length %d too short for rates %+v", n, cfg.Rates)
+	p.n3 = n - p.n1 - p.n2
+	if p.n3 < 0 {
+		p.n3 = 0
 	}
-	kr := ka
-	if kb > kr {
-		kr = kb
+	if p.ka == 0 && p.kb == 0 {
+		return tdbcParams{}, nil, fmt.Errorf("sim: block length %d too short for rates %+v", n, cfg.Rates)
+	}
+	p.kr = p.ka
+	if p.kb > p.kr {
+		p.kr = p.kb
+	}
+	return p, durations, nil
+}
+
+// RunBitTrueTDBC executes the TDBC protocol bit by bit: random linear codes
+// at all three encoders, random erasures on every link, overheard side
+// information retained at the terminals, XOR network coding at the relay
+// (zero-padded to the longer message per the paper's group construction),
+// and Gaussian-elimination decoding that pools all equations a node holds.
+// Trials are sharded across cfg.Workers goroutines and the per-worker
+// counters merged after the pool drains.
+func RunBitTrueTDBC(cfg BitTrueConfig) (BitTrueResult, error) {
+	p, durations, err := deriveTDBCParams(cfg)
+	if err != nil {
+		return BitTrueResult{}, err
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	parts := make([]*tdbcWorker, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		count := cfg.Trials*(wi+1)/workers - cfg.Trials*wi/workers
+		wk := newTDBCWorker(cfg.Net, p, cfg.Seed+int64(wi)*workerSeedStride)
+		parts[wi] = wk
+		wg.Add(1)
+		go func(wk *tdbcWorker, count int) {
+			defer wg.Done()
+			for i := 0; i < count; i++ {
+				wk.runTrial()
+			}
+		}(wk, count)
+	}
+	wg.Wait()
+
 	res := BitTrueResult{Trials: cfg.Trials, Durations: durations}
 	successes := 0
-	var scratch tdbcScratch
-	for trial := 0; trial < cfg.Trials; trial++ {
-		ok, relayOK := runOneTDBCBlock(cfg.Net, ka, kb, kr, n1, n2, n3, rng, &scratch)
-		if ok {
-			successes++
-			continue
-		}
-		if !relayOK {
-			res.RelayFailures++
-		} else {
-			res.TerminalFailures++
-		}
+	for _, wk := range parts {
+		successes += wk.successes
+		res.RelayFailures += wk.relayFailures
+		res.TerminalFailures += wk.terminalFailures
 	}
 	res.SuccessProb = float64(successes) / float64(cfg.Trials)
 	return res, nil
 }
 
-// tdbcScratch holds the equation-accumulation buffers of the bit-true TDBC
-// simulator so successive blocks reuse one set of slices (and one pool of
-// truncated-row vectors) instead of reallocating them per block. Rows taken
-// from generator matrices are shared views (gf2.Matrix.RowView): they are
-// only read here, and gf2.DecodeEquations clones every row it keeps.
-type tdbcScratch struct {
+// tdbcWorker owns one goroutine's share of the bit-true Monte Carlo: a
+// seed-derived RNG, three preallocated generator matrices re-randomized in
+// place per block, every message/codeword buffer, a gf2.Solver with
+// pre-reserved scratch, and the equation-accumulation slices. After worker
+// construction a block performs no heap allocation (gated by
+// TestBitTrueTDBCBlockZeroAllocs).
+//
+// Rows appended to the accumulators are either generator views
+// (gf2.Matrix.RowView) or pooled truncations — read-only until the next
+// reset, which is all the solver needs.
+type tdbcWorker struct {
+	net ErasureNetwork
+	p   tdbcParams
+	rng *rand.Rand
+
+	codeA, codeB, codeR gf2.Code
+	wa, wb, wr          gf2.Vector
+	xa, xb, xr          gf2.Vector
+	padWa, padWb        gf2.Vector
+	decA, decB          gf2.Vector
+	gotA, gotB          gf2.Vector
+	solver              gf2.Solver
+
 	relayRowsA, relayRowsB []gf2.Vector
 	relayBitsA, relayBitsB []int
-	aSideRows, bSideRows   []gf2.Vector
-	aSideBits, bSideBits   []int
-	rowsForA, rowsForB     []gf2.Vector
-	bitsForA, bitsForB     []int
+	// rowsForA/bitsForA accumulate everything terminal a decodes wb from
+	// (phase-2 overheard rows, then truncated relay rows); rowsForB likewise
+	// for terminal b and wa.
+	rowsForA, rowsForB []gf2.Vector
+	bitsForA, bitsForB []int
 	// truncA/truncB pool the truncated relay rows destined for terminals a
-	// and b (kb- and ka-bit vectors respectively); truncAUsed/truncBUsed
-	// count how many are live in the current block.
-	truncA, truncB         []gf2.Vector
-	truncAUsed, truncBUsed int
+	// and b (kb- and ka-bit vectors), indexed by relay symbol position.
+	truncA, truncB []gf2.Vector
+
+	successes, relayFailures, terminalFailures int
 }
 
-// reset prepares the scratch for a new block without releasing storage.
-func (s *tdbcScratch) reset() {
-	s.relayRowsA, s.relayRowsB = s.relayRowsA[:0], s.relayRowsB[:0]
-	s.relayBitsA, s.relayBitsB = s.relayBitsA[:0], s.relayBitsB[:0]
-	s.aSideRows, s.bSideRows = s.aSideRows[:0], s.bSideRows[:0]
-	s.aSideBits, s.bSideBits = s.aSideBits[:0], s.bSideBits[:0]
-	s.rowsForA, s.rowsForB = s.rowsForA[:0], s.rowsForB[:0]
-	s.bitsForA, s.bitsForB = s.bitsForA[:0], s.bitsForB[:0]
-	s.truncAUsed, s.truncBUsed = 0, 0
-}
+// newTDBCWorker allocates a worker with every buffer sized to its maximum:
+// the accumulators can never outgrow the phase lengths, so steady-state
+// blocks never re-slice beyond capacity.
+func newTDBCWorker(net ErasureNetwork, p tdbcParams, seed int64) *tdbcWorker {
+	w := &tdbcWorker{
+		net: net,
+		p:   p,
+		rng: rand.New(rand.NewSource(seed)),
 
-// truncate writes the first k coordinates of v into a pooled vector and
-// returns it; the result stays valid until the next reset.
-func truncateInto(pool *[]gf2.Vector, used *int, v gf2.Vector, k int) gf2.Vector {
-	var out gf2.Vector
-	if *used < len(*pool) && (*pool)[*used].Len() == k {
-		out = (*pool)[*used]
-	} else {
-		out = gf2.NewVector(k)
-		if *used < len(*pool) {
-			(*pool)[*used] = out
-		} else {
-			*pool = append(*pool, out)
-		}
+		codeA: gf2.Code{G: gf2.NewMatrix(p.n1, p.ka)},
+		codeB: gf2.Code{G: gf2.NewMatrix(p.n2, p.kb)},
+		codeR: gf2.Code{G: gf2.NewMatrix(p.n3, p.kr)},
+		wa:    gf2.NewVector(p.ka),
+		wb:    gf2.NewVector(p.kb),
+		wr:    gf2.NewVector(p.kr),
+		xa:    gf2.NewVector(p.n1),
+		xb:    gf2.NewVector(p.n2),
+		xr:    gf2.NewVector(p.n3),
+		padWa: gf2.NewVector(p.kr),
+		padWb: gf2.NewVector(p.kr),
+		decA:  gf2.NewVector(p.ka),
+		decB:  gf2.NewVector(p.kb),
+		gotA:  gf2.NewVector(p.ka),
+		gotB:  gf2.NewVector(p.kb),
+
+		relayRowsA: make([]gf2.Vector, 0, p.n1),
+		relayRowsB: make([]gf2.Vector, 0, p.n2),
+		relayBitsA: make([]int, 0, p.n1),
+		relayBitsB: make([]int, 0, p.n2),
+		rowsForA:   make([]gf2.Vector, 0, p.n2+p.n3),
+		rowsForB:   make([]gf2.Vector, 0, p.n1+p.n3),
+		bitsForA:   make([]int, 0, p.n2+p.n3),
+		bitsForB:   make([]int, 0, p.n1+p.n3),
+		truncA:     make([]gf2.Vector, p.n3),
+		truncB:     make([]gf2.Vector, p.n3),
 	}
-	*used++
-	for i := 0; i < k; i++ {
-		b := 0
-		if i < v.Len() {
-			b = v.Bit(i)
-		}
-		out.Set(i, b)
+	for i := range w.truncA {
+		w.truncA[i] = gf2.NewVector(p.kb)
+		w.truncB[i] = gf2.NewVector(p.ka)
 	}
-	return out
+	w.solver.Reserve(p.n1, p.ka)
+	w.solver.Reserve(p.n2, p.kb)
+	w.solver.Reserve(p.n2+p.n3, p.kb)
+	w.solver.Reserve(p.n1+p.n3, p.ka)
+	return w
 }
 
-// runOneTDBCBlock simulates one block. Returns (success, relayDecoded).
-func runOneTDBCBlock(net ErasureNetwork, ka, kb, kr, n1, n2, n3 int, rng *rand.Rand, s *tdbcScratch) (bool, bool) {
-	s.reset()
-	wa := gf2.RandomVector(ka, rng)
-	wb := gf2.RandomVector(kb, rng)
+// reset prepares the accumulators for a new block without releasing storage.
+func (w *tdbcWorker) reset() {
+	w.relayRowsA, w.relayRowsB = w.relayRowsA[:0], w.relayRowsB[:0]
+	w.relayBitsA, w.relayBitsB = w.relayBitsA[:0], w.relayBitsB[:0]
+	w.rowsForA, w.rowsForB = w.rowsForA[:0], w.rowsForB[:0]
+	w.bitsForA, w.bitsForB = w.bitsForA[:0], w.bitsForB[:0]
+}
+
+// runTrial runs one block and tallies the outcome.
+func (w *tdbcWorker) runTrial() {
+	ok, relayOK := w.runBlock()
+	switch {
+	case ok:
+		w.successes++
+	case !relayOK:
+		w.relayFailures++
+	default:
+		w.terminalFailures++
+	}
+}
+
+// runBlock simulates one block. Returns (success, relayDecoded). The RNG
+// draw order is exactly the historical sequential engine's, so a
+// single-worker run reproduces its results bit for bit.
+func (w *tdbcWorker) runBlock() (bool, bool) {
+	w.reset()
+	net, p := w.net, w.p
+	w.wa.Randomize(w.rng)
+	w.wb.Randomize(w.rng)
 
 	// Phase 1: a broadcasts n1 random parities of wa; r and b erase
 	// independently.
-	codeA := gf2.NewCode(n1, ka, rng)
-	xa, _ := codeA.Encode(wa)
-	for i := 0; i < n1; i++ {
-		if rng.Float64() >= net.EpsAR {
-			s.relayRowsA = append(s.relayRowsA, codeA.G.RowView(i))
-			s.relayBitsA = append(s.relayBitsA, xa.Bit(i))
+	w.codeA.Rerandomize(w.rng)
+	_ = w.codeA.EncodeInto(&w.xa, w.wa)
+	for i := 0; i < p.n1; i++ {
+		if w.rng.Float64() >= net.EpsAR {
+			w.relayRowsA = append(w.relayRowsA, w.codeA.G.RowView(i))
+			w.relayBitsA = append(w.relayBitsA, w.xa.Bit(i))
 		}
-		if rng.Float64() >= net.EpsAB {
-			s.bSideRows = append(s.bSideRows, codeA.G.RowView(i))
-			s.bSideBits = append(s.bSideBits, xa.Bit(i))
+		if w.rng.Float64() >= net.EpsAB {
+			w.rowsForB = append(w.rowsForB, w.codeA.G.RowView(i))
+			w.bitsForB = append(w.bitsForB, w.xa.Bit(i))
 		}
 	}
 
 	// Phase 2: b broadcasts n2 random parities of wb; r and a erase
 	// independently.
-	codeB := gf2.NewCode(n2, kb, rng)
-	xb, _ := codeB.Encode(wb)
-	for i := 0; i < n2; i++ {
-		if rng.Float64() >= net.EpsBR {
-			s.relayRowsB = append(s.relayRowsB, codeB.G.RowView(i))
-			s.relayBitsB = append(s.relayBitsB, xb.Bit(i))
+	w.codeB.Rerandomize(w.rng)
+	_ = w.codeB.EncodeInto(&w.xb, w.wb)
+	for i := 0; i < p.n2; i++ {
+		if w.rng.Float64() >= net.EpsBR {
+			w.relayRowsB = append(w.relayRowsB, w.codeB.G.RowView(i))
+			w.relayBitsB = append(w.relayBitsB, w.xb.Bit(i))
 		}
-		if rng.Float64() >= net.EpsAB {
-			s.aSideRows = append(s.aSideRows, codeB.G.RowView(i))
-			s.aSideBits = append(s.aSideBits, xb.Bit(i))
+		if w.rng.Float64() >= net.EpsAB {
+			w.rowsForA = append(w.rowsForA, w.codeB.G.RowView(i))
+			w.bitsForA = append(w.bitsForA, w.xb.Bit(i))
 		}
 	}
 
 	// Relay decodes both messages (decode-and-forward).
-	decA, errA := gf2.DecodeEquations(ka, s.relayRowsA, s.relayBitsA)
-	decB, errB := gf2.DecodeEquations(kb, s.relayRowsB, s.relayBitsB)
-	if errA != nil || errB != nil || !decA.Equal(wa) || !decB.Equal(wb) {
+	errA := w.solver.SolveConsistentInto(&w.decA, p.ka, w.relayRowsA, w.relayBitsA)
+	errB := w.solver.SolveConsistentInto(&w.decB, p.kb, w.relayRowsB, w.relayBitsB)
+	if errA != nil || errB != nil || !w.decA.Equal(w.wa) || !w.decB.Equal(w.wb) {
 		return false, false
 	}
 
 	// Relay XOR-combines in Z_2^kr (zero-padded) and broadcasts n3 random
 	// parities of wr.
-	wr := netcode.PadCombine(decA, decB)
-	codeR := gf2.NewCode(n3, kr, rng)
-	xr, _ := codeR.Encode(wr)
+	_ = netcode.PadCombineInto(&w.wr, w.decA, w.decB)
+	w.codeR.Rerandomize(w.rng)
+	_ = w.codeR.EncodeInto(&w.xr, w.wr)
 
 	// Each terminal converts every surviving relay parity g·wr into an
 	// equation about the peer message: wr = pad(wa) ⊕ pad(wb), so
 	// g·pad(wb) = bit ⊕ g·pad(wa) at node a (which knows wa), and
 	// symmetrically at node b. Since pad(w) is zero above the message
 	// length, the effective row is g truncated to the peer's length.
-	padWa := netcode.PadCombine(wa, gf2.NewVector(kr)) // wa zero-padded to kr
-	padWb := netcode.PadCombine(wb, gf2.NewVector(kr))
-	s.rowsForA = append(s.rowsForA, s.aSideRows...)
-	s.bitsForA = append(s.bitsForA, s.aSideBits...)
-	s.rowsForB = append(s.rowsForB, s.bSideRows...)
-	s.bitsForB = append(s.bitsForB, s.bSideBits...)
-	for i := 0; i < n3; i++ {
-		row := codeR.G.RowView(i)
-		bit := xr.Bit(i)
+	w.padWa.CopyPrefix(w.wa) // wa zero-padded to kr
+	w.padWb.CopyPrefix(w.wb)
+	for i := 0; i < p.n3; i++ {
+		row := w.codeR.G.RowView(i)
+		bit := w.xr.Bit(i)
 		// a hears the relay through the a-r link.
-		if rng.Float64() >= net.EpsAR {
-			s.rowsForA = append(s.rowsForA, truncateInto(&s.truncA, &s.truncAUsed, row, kb))
-			s.bitsForA = append(s.bitsForA, bit^dot(row, padWa))
+		if w.rng.Float64() >= net.EpsAR {
+			w.truncA[i].CopyPrefix(row)
+			w.rowsForA = append(w.rowsForA, w.truncA[i])
+			w.bitsForA = append(w.bitsForA, bit^gf2.Dot(row, w.padWa))
 		}
 		// b hears the relay through the b-r link.
-		if rng.Float64() >= net.EpsBR {
-			s.rowsForB = append(s.rowsForB, truncateInto(&s.truncB, &s.truncBUsed, row, ka))
-			s.bitsForB = append(s.bitsForB, bit^dot(row, padWb))
+		if w.rng.Float64() >= net.EpsBR {
+			w.truncB[i].CopyPrefix(row)
+			w.rowsForB = append(w.rowsForB, w.truncB[i])
+			w.bitsForB = append(w.bitsForB, bit^gf2.Dot(row, w.padWb))
 		}
 	}
 
-	gotB, errA2 := gf2.DecodeEquations(kb, s.rowsForA, s.bitsForA)
-	if errA2 != nil || !gotB.Equal(wb) {
+	if err := w.solver.SolveConsistentInto(&w.gotB, p.kb, w.rowsForA, w.bitsForA); err != nil || !w.gotB.Equal(w.wb) {
 		return false, true
 	}
-	gotA, errB2 := gf2.DecodeEquations(ka, s.rowsForB, s.bitsForB)
-	if errB2 != nil || !gotA.Equal(wa) {
+	if err := w.solver.SolveConsistentInto(&w.gotA, p.ka, w.rowsForB, w.bitsForB); err != nil || !w.gotA.Equal(w.wa) {
 		return false, true
 	}
 	return true, true
-}
-
-// dot returns the GF(2) inner product of two equal-length vectors.
-func dot(a, b gf2.Vector) int {
-	var acc int
-	for i := 0; i < a.Len() && i < b.Len(); i++ {
-		acc ^= a.Bit(i) & b.Bit(i)
-	}
-	return acc
 }

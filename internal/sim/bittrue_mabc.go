@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"bicoop/internal/gf2"
 	"bicoop/internal/stats"
@@ -32,8 +34,16 @@ type MABCBitTrueConfig struct {
 	BlockLength int
 	// Trials is the number of independent blocks.
 	Trials int
-	// Seed drives the run deterministically.
+	// Seed drives the run deterministically for a fixed (Seed, Trials,
+	// Workers) triple.
 	Seed int64
+	// Workers bounds the worker pool sharding the trials; non-positive
+	// means GOMAXPROCS. Worker seeding follows the same scheme as the
+	// other simulators (Seed + w*workerSeedStride): Workers == 1
+	// reproduces the historical sequential stream bit for bit, more
+	// workers change the per-trial stream but keep the merged counts
+	// deterministic.
+	Workers int
 	// Confidence for the reported success interval (default 0.95).
 	Confidence float64
 }
@@ -74,7 +84,9 @@ func MABCComputeForwardBound(epsMAC, epsRA, epsRB float64) (rate float64, durati
 	return d1 * cMAC, []float64{d1, 1 - d1}
 }
 
-// RunBitTrueMABC executes the compute-and-forward MABC protocol bit by bit.
+// RunBitTrueMABC executes the compute-and-forward MABC protocol bit by bit,
+// sharding trials across cfg.Workers goroutines with per-worker RNGs,
+// codes, and elimination scratch.
 func RunBitTrueMABC(cfg MABCBitTrueConfig) (MABCBitTrueResult, error) {
 	for _, e := range []float64{cfg.EpsMAC, cfg.EpsRA, cfg.EpsRB} {
 		if e < 0 || e > 1 || math.IsNaN(e) {
@@ -109,21 +121,35 @@ func RunBitTrueMABC(cfg MABCBitTrueConfig) (MABCBitTrueResult, error) {
 		conf = 0.95
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	parts := make([]*mabcWorker, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		count := cfg.Trials*(wi+1)/workers - cfg.Trials*wi/workers
+		wk := newMABCWorker(cfg, k, n1, n2, cfg.Seed+int64(wi)*workerSeedStride)
+		parts[wi] = wk
+		wg.Add(1)
+		go func(wk *mabcWorker, count int) {
+			defer wg.Done()
+			for i := 0; i < count; i++ {
+				wk.runTrial()
+			}
+		}(wk, count)
+	}
+	wg.Wait()
+
 	res := MABCBitTrueResult{Durations: durations}
 	successes := 0
-	var scratch mabcScratch
-	for trial := 0; trial < cfg.Trials; trial++ {
-		ok, relayOK := runOneMABCBlock(cfg, k, n1, n2, rng, &scratch)
-		if ok {
-			successes++
-			continue
-		}
-		if !relayOK {
-			res.RelayFailures++
-		} else {
-			res.TerminalFailures++
-		}
+	for _, wk := range parts {
+		successes += wk.successes
+		res.RelayFailures += wk.relayFailures
+		res.TerminalFailures += wk.terminalFailures
 	}
 	res.SuccessProb = float64(successes) / float64(cfg.Trials)
 	ci, err := stats.WilsonInterval(successes, cfg.Trials, conf)
@@ -134,59 +160,117 @@ func RunBitTrueMABC(cfg MABCBitTrueConfig) (MABCBitTrueResult, error) {
 	return res, nil
 }
 
-// mabcScratch reuses the equation-accumulation slices across blocks. Rows
-// are shared generator views (RowView): read-only here, and DecodeEquations
-// clones what it keeps.
-type mabcScratch struct {
+// mabcWorker owns one goroutine's share of the compute-and-forward Monte
+// Carlo: a seed-derived RNG, two preallocated generators re-randomized in
+// place per block, message/codeword buffers, a pre-reserved gf2.Solver, and
+// the equation accumulators. Rows are shared generator views (RowView):
+// read-only here, consumed in place by the solver. Steady-state blocks
+// perform no heap allocation (gated by TestBitTrueMABCBlockZeroAllocs).
+type mabcWorker struct {
+	epsMAC, epsRA, epsRB float64
+	k, n1, n2            int
+	rng                  *rand.Rand
+
+	codeMAC, codeBC  gf2.Code
+	wa, wb, s        gf2.Vector
+	xs, xr           gf2.Vector
+	sHat, sAtA, sAtB gf2.Vector
+	solver           gf2.Solver
+
 	rows []gf2.Vector
 	bits []int
+
+	successes, relayFailures, terminalFailures int
 }
 
-// runOneMABCBlock simulates one block. Returns (success, relayDecoded).
-func runOneMABCBlock(cfg MABCBitTrueConfig, k, n1, n2 int, rng *rand.Rand, sc *mabcScratch) (bool, bool) {
-	wa := gf2.RandomVector(k, rng)
-	wb := gf2.RandomVector(k, rng)
-	s, _ := wa.Xor(wb)
+// newMABCWorker allocates a worker with every buffer at its maximum size.
+func newMABCWorker(cfg MABCBitTrueConfig, k, n1, n2 int, seed int64) *mabcWorker {
+	maxN := n1
+	if n2 > maxN {
+		maxN = n2
+	}
+	w := &mabcWorker{
+		epsMAC: cfg.EpsMAC, epsRA: cfg.EpsRA, epsRB: cfg.EpsRB,
+		k: k, n1: n1, n2: n2,
+		rng:     rand.New(rand.NewSource(seed)),
+		codeMAC: gf2.Code{G: gf2.NewMatrix(n1, k)},
+		codeBC:  gf2.Code{G: gf2.NewMatrix(n2, k)},
+		wa:      gf2.NewVector(k),
+		wb:      gf2.NewVector(k),
+		s:       gf2.NewVector(k),
+		xs:      gf2.NewVector(n1),
+		xr:      gf2.NewVector(n2),
+		sHat:    gf2.NewVector(k),
+		sAtA:    gf2.NewVector(k),
+		sAtB:    gf2.NewVector(k),
+		rows:    make([]gf2.Vector, 0, maxN),
+		bits:    make([]int, 0, maxN),
+	}
+	w.solver.Reserve(maxN, k)
+	return w
+}
+
+// runTrial runs one block and tallies the outcome.
+func (w *mabcWorker) runTrial() {
+	ok, relayOK := w.runBlock()
+	switch {
+	case ok:
+		w.successes++
+	case !relayOK:
+		w.relayFailures++
+	default:
+		w.terminalFailures++
+	}
+}
+
+// runBlock simulates one block. Returns (success, relayDecoded). The RNG
+// draw order matches the historical sequential engine exactly.
+func (w *mabcWorker) runBlock() (bool, bool) {
+	w.wa.Randomize(w.rng)
+	w.wb.Randomize(w.rng)
+	w.s.CopyPrefix(w.wa)
+	_ = w.s.XorWith(w.wb)
 
 	// Phase 1 (MAC): both terminals encode with the SAME shared generator
 	// (agreed via common randomness, as in physical-layer network coding);
 	// the relay observes parities of the XOR message through erasures.
-	codeMAC := gf2.NewCode(n1, k, rng)
-	xs, _ := codeMAC.Encode(s) // equals Encode(wa) xor Encode(wb) by linearity
-	sc.rows, sc.bits = sc.rows[:0], sc.bits[:0]
-	for i := 0; i < n1; i++ {
-		if rng.Float64() >= cfg.EpsMAC {
-			sc.rows = append(sc.rows, codeMAC.G.RowView(i))
-			sc.bits = append(sc.bits, xs.Bit(i))
+	w.codeMAC.Rerandomize(w.rng)
+	_ = w.codeMAC.EncodeInto(&w.xs, w.s) // equals Encode(wa) xor Encode(wb) by linearity
+	w.rows, w.bits = w.rows[:0], w.bits[:0]
+	for i := 0; i < w.n1; i++ {
+		if w.rng.Float64() >= w.epsMAC {
+			w.rows = append(w.rows, w.codeMAC.G.RowView(i))
+			w.bits = append(w.bits, w.xs.Bit(i))
 		}
 	}
-	sHat, err := gf2.DecodeEquations(k, sc.rows, sc.bits)
-	if err != nil || !sHat.Equal(s) {
+	if err := w.solver.SolveConsistentInto(&w.sHat, w.k, w.rows, w.bits); err != nil || !w.sHat.Equal(w.s) {
 		return false, false
 	}
 
 	// Phase 2 (broadcast): the relay re-encodes the XOR with a fresh code;
 	// each terminal decodes it through its own link's erasures and strips
 	// its own message.
-	codeBC := gf2.NewCode(n2, k, rng)
-	xr, _ := codeBC.Encode(sHat)
-	decodeAt := func(eps float64) (gf2.Vector, bool) {
-		sc.rows, sc.bits = sc.rows[:0], sc.bits[:0]
-		for i := 0; i < n2; i++ {
-			if rng.Float64() >= eps {
-				sc.rows = append(sc.rows, codeBC.G.RowView(i))
-				sc.bits = append(sc.bits, xr.Bit(i))
-			}
-		}
-		got, err := gf2.DecodeEquations(k, sc.rows, sc.bits)
-		return got, err == nil
-	}
-	sAtA, okA := decodeAt(cfg.EpsRA)
-	sAtB, okB := decodeAt(cfg.EpsRB)
+	w.codeBC.Rerandomize(w.rng)
+	_ = w.codeBC.EncodeInto(&w.xr, w.sHat)
+	okA := w.decodeBroadcast(&w.sAtA, w.epsRA)
+	okB := w.decodeBroadcast(&w.sAtB, w.epsRB)
 	if !okA || !okB {
 		return false, true
 	}
-	gotB, _ := sAtA.Xor(wa) // terminal a strips wa
-	gotA, _ := sAtB.Xor(wb) // terminal b strips wb
-	return gotB.Equal(wb) && gotA.Equal(wa), true
+	_ = w.sAtA.XorWith(w.wa) // terminal a strips wa, leaving its estimate of wb
+	_ = w.sAtB.XorWith(w.wb) // terminal b strips wb
+	return w.sAtA.Equal(w.wb) && w.sAtB.Equal(w.wa), true
+}
+
+// decodeBroadcast receives the relay broadcast through a link with erasure
+// probability eps and decodes it into dst.
+func (w *mabcWorker) decodeBroadcast(dst *gf2.Vector, eps float64) bool {
+	w.rows, w.bits = w.rows[:0], w.bits[:0]
+	for i := 0; i < w.n2; i++ {
+		if w.rng.Float64() >= eps {
+			w.rows = append(w.rows, w.codeBC.G.RowView(i))
+			w.bits = append(w.bits, w.xr.Bit(i))
+		}
+	}
+	return w.solver.SolveConsistentInto(dst, w.k, w.rows, w.bits) == nil
 }

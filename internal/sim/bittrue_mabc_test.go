@@ -55,6 +55,7 @@ func TestRunBitTrueMABCWaterfall(t *testing.T) {
 			BlockLength: 3000,
 			Trials:      30,
 			Seed:        3,
+			Workers:     4, // pinned so results do not depend on GOMAXPROCS
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -87,6 +88,7 @@ func TestRunBitTrueMABCDerivesDurations(t *testing.T) {
 		BlockLength: 2000,
 		Trials:      15,
 		Seed:        5,
+		Workers:     4,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -161,6 +163,7 @@ func TestBitTrueMABCSharedGeneratorLinearity(t *testing.T) {
 		BlockLength: 2500,
 		Trials:      20,
 		Seed:        11,
+		Workers:     4,
 	})
 	if err != nil {
 		t.Fatal(err)

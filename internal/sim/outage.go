@@ -30,6 +30,11 @@ var (
 	ErrNoTargets = errors.New("sim: no protocols requested")
 )
 
+// workerSeedStride separates the deterministic per-worker RNG streams: every
+// sharded simulator in this package seeds worker w with Seed + w*stride, so
+// worker 0 of any pool reproduces the corresponding sequential run.
+const workerSeedStride int64 = 0x9e3779b9
+
 // OutageConfig parameterizes a fading Monte Carlo run.
 type OutageConfig struct {
 	// Mean holds the mean link gains; per block, each link fades
@@ -91,7 +96,7 @@ type outageWorker struct {
 
 // newOutageWorker derives worker w's deterministic stream from the run seed.
 func newOutageWorker(cfg OutageConfig, w int) (*outageWorker, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*0x9e3779b9))
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*workerSeedStride))
 	fading, err := channel.NewFading(cfg.Mean, rng)
 	if err != nil {
 		return nil, err

@@ -189,6 +189,7 @@ func TestBitTrueTDBCWaterfall(t *testing.T) {
 			BlockLength: 3000,
 			Trials:      30,
 			Seed:        5,
+			Workers:     4, // pinned so results do not depend on GOMAXPROCS
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -215,6 +216,7 @@ func TestBitTrueTDBCDerivesDurations(t *testing.T) {
 		BlockLength: 2000,
 		Trials:      20,
 		Seed:        11,
+		Workers:     4,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -305,6 +307,7 @@ func TestBitTrueTDBCAsymmetricRates(t *testing.T) {
 		BlockLength: 2000,
 		Trials:      20,
 		Seed:        21,
+		Workers:     4,
 	})
 	if err != nil {
 		t.Fatal(err)

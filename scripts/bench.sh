@@ -7,17 +7,25 @@
 # The set covers the LP hot path at three levels: raw simplex solve, one
 # evaluator solve per protocol, the Monte Carlo per-block kernel, and the
 # figure-level sweeps (Fig 3 relay placement, MABC/TDBC crossover, fading
-# Monte Carlo).
+# Monte Carlo) — plus the bit-true path at two levels: full TDBC/MABC runs
+# (sequential and sharded) and the per-block kernels. The bit-true full-run
+# benchmarks already iterate 64 blocks internally, so they get a smaller
+# default -benchtime than the microbenchmarks.
 set -eu
 
 out="${1:-BENCH.json}"
 benchtime="${2:-200x}"
+bittime="${3:-10x}"
 cd "$(dirname "$0")/.."
 
-pattern='BenchmarkSimplexSolve$|BenchmarkEvaluatorSolve|BenchmarkEvaluatorFeasible$|BenchmarkOutageTrial$|BenchmarkSumRateLP$|BenchmarkFeasibility$|BenchmarkOutageBlock$|BenchmarkFig3$|BenchmarkSNRCrossover$|BenchmarkFadingOutage$'
+pattern='BenchmarkSimplexSolve$|BenchmarkEvaluatorSolve|BenchmarkEvaluatorFeasible$|BenchmarkOutageTrial$|BenchmarkSumRateLP$|BenchmarkFeasibility$|BenchmarkOutageBlock$|BenchmarkFig3$|BenchmarkSNRCrossover$|BenchmarkFadingOutage$|BenchmarkBitTrueTDBCBlock$|BenchmarkBitTrueMABCBlock$'
+bitpattern='BenchmarkBitTrueTDBC$|BenchmarkBitTrueTDBCParallel$|BenchmarkBitTrueMABC$|BenchmarkBitTrueMABCParallel$'
 
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
-    . ./internal/protocols/ ./internal/sim/ ./internal/simplex/ \
-    | tee /dev/stderr \
+{
+    go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
+        . ./internal/protocols/ ./internal/sim/ ./internal/simplex/
+    go test -run '^$' -bench "$bitpattern" -benchmem -benchtime "$bittime" \
+        ./internal/sim/
+} | tee /dev/stderr \
     | go run ./cmd/benchjson > "$out"
 echo "wrote $out" >&2
