@@ -7,6 +7,7 @@ package bicoop_test
 // fading draws, bit-true blocks).
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -239,7 +240,7 @@ func BenchmarkBitTrueBlock(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
-		if _, err := sim.RunBitTrueTDBC(cfg); err != nil {
+		if _, err := sim.RunBitTrueTDBC(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -258,7 +259,7 @@ func BenchmarkOutageBlock(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
-		if _, err := sim.RunOutage(cfg); err != nil {
+		if _, err := sim.RunOutage(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -274,3 +275,49 @@ func BenchmarkBitsimMABC(b *testing.B) { benchExperiment(b, "bitsim-mabc") }
 
 // BenchmarkBER runs the symbol-level BER validation sweep.
 func BenchmarkBER(b *testing.B) { benchExperiment(b, "ber") }
+
+// --- Engine batch vs legacy one-shot facade. ---
+
+// batchScenarios builds the 1000-point power × gain grid both batch
+// benchmarks evaluate, mirroring a Fig 3 style bulk query — the same grid
+// shape the correctness tests pin (see grid in engine_test.go).
+func batchScenarios() []bicoop.Scenario { return grid(1000) }
+
+// BenchmarkEngineSumRateBatch measures Engine.SumRateBatch over a
+// 1k-scenario grid: one warm evaluator across the batch, one shared
+// durations backing array, no per-call pool traffic.
+func BenchmarkEngineSumRateBatch(b *testing.B) {
+	eng := bicoop.NewEngine()
+	scenarios := batchScenarios()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SumRateBatch(ctx, bicoop.HBC, bicoop.Inner, scenarios); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOneShotSumRateBatch evaluates the same 1k-scenario grid through
+// the legacy one-shot facade — one OptimalSumRate call per scenario,
+// results collected exactly as SumRateBatch returns them. This is the
+// baseline Engine.SumRateBatch is measured against.
+func BenchmarkOneShotSumRateBatch(b *testing.B) {
+	scenarios := batchScenarios()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := make([]bicoop.SumRateResult, 0, len(scenarios))
+		for _, s := range scenarios {
+			res, err := bicoop.OptimalSumRate(bicoop.HBC, bicoop.Inner, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		if len(out) != len(scenarios) {
+			b.Fatal("short batch")
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package bicoop
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -172,24 +173,12 @@ type SumRateResult struct {
 
 // OptimalSumRate maximizes Ra+Rb over the protocol bound, jointly optimizing
 // phase durations by linear programming (the quantity plotted in Fig 3).
+//
+// It is a one-shot convenience over DefaultEngine().SumRate; workloads
+// evaluating many scenarios should hold an Engine and use SumRateBatch or
+// Sweep instead.
 func OptimalSumRate(p Protocol, b Bound, s Scenario) (SumRateResult, error) {
-	ip, err := p.internal()
-	if err != nil {
-		return SumRateResult{}, err
-	}
-	ib, err := b.internal()
-	if err != nil {
-		return SumRateResult{}, err
-	}
-	res, err := protocols.OptimalSumRate(ip, ib, s.internal())
-	if err != nil {
-		return SumRateResult{}, fmt.Errorf("bicoop: %w", err)
-	}
-	return SumRateResult{
-		Sum:       res.Sum,
-		Point:     RatePoint{Ra: res.Rates.Ra, Rb: res.Rates.Rb},
-		Durations: res.Durations,
-	}, nil
+	return defaultEngine.SumRate(p, b, s)
 }
 
 // Region is a computed rate region (a convex polygon in the non-negative
@@ -199,21 +188,9 @@ type Region struct {
 }
 
 // RateRegion computes the full rate region of a protocol bound (one curve
-// of Fig 4).
+// of Fig 4). It is a one-shot convenience over DefaultEngine().Region.
 func RateRegion(p Protocol, b Bound, s Scenario) (Region, error) {
-	ip, err := p.internal()
-	if err != nil {
-		return Region{}, err
-	}
-	ib, err := b.internal()
-	if err != nil {
-		return Region{}, err
-	}
-	pg, err := protocols.GaussianRegion(ip, ib, s.internal(), protocols.RegionOptions{})
-	if err != nil {
-		return Region{}, fmt.Errorf("bicoop: %w", err)
-	}
-	return Region{poly: pg}, nil
+	return defaultEngine.Region(p, b, s)
 }
 
 // Vertices returns the polygon's vertices in counter-clockwise order.
@@ -249,25 +226,10 @@ func (r Region) MaxRbAt(ra float64) (float64, bool) { return r.poly.RbAt(ra) }
 
 // Feasible reports whether a rate pair is within the protocol bound for
 // some phase-duration split (an exact LP test, independent of region
-// polygon resolution).
+// polygon resolution). It is a one-shot convenience over
+// DefaultEngine().Feasible.
 func Feasible(p Protocol, b Bound, s Scenario, pt RatePoint) (bool, error) {
-	ip, err := p.internal()
-	if err != nil {
-		return false, err
-	}
-	ib, err := b.internal()
-	if err != nil {
-		return false, err
-	}
-	spec, err := protocols.CompileGaussian(ip, ib, s.internal())
-	if err != nil {
-		return false, fmt.Errorf("bicoop: %w", err)
-	}
-	ok, err := spec.Feasible(protocols.RatePair{Ra: pt.Ra, Rb: pt.Rb})
-	if err != nil {
-		return false, fmt.Errorf("bicoop: %w", err)
-	}
-	return ok, nil
+	return defaultEngine.Feasible(p, b, s, pt)
 }
 
 // HBCBeyondOuterBounds returns achievable HBC operating points that are
@@ -275,6 +237,9 @@ func Feasible(p Protocol, b Bound, s Scenario, pt RatePoint) (bool, error) {
 // the paper's "surprising" Section IV finding. An empty slice means no such
 // points at this scenario.
 func HBCBeyondOuterBounds(s Scenario) ([]RatePoint, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
 	esc, err := protocols.HBCEscapePoints(s.internal(), protocols.RegionOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("bicoop: %w", err)
@@ -294,7 +259,8 @@ type FadingConfig struct {
 	Protocols []Protocol
 	// Target is the fixed rate pair for outage probability (zero disables).
 	Target RatePoint
-	// Trials is the number of fading blocks (default 2000).
+	// Trials is the number of fading blocks (default 2000); negative is
+	// ErrInvalidTrials.
 	Trials int
 	// Seed drives the simulation deterministically.
 	Seed int64
@@ -308,42 +274,23 @@ type FadingStats struct {
 	OutageProb float64
 }
 
-// SimulateFading runs the quasi-static Rayleigh fading Monte Carlo.
+// SimulateFading runs the quasi-static Rayleigh fading Monte Carlo. It is a
+// one-shot convenience over DefaultEngine().Simulate with a FadingSpec;
+// prefer the engine for cancellation, worker control, and progress.
 func SimulateFading(cfg FadingConfig) (map[Protocol]FadingStats, error) {
-	protosPub := cfg.Protocols
-	if len(protosPub) == 0 {
-		protosPub = []Protocol{MABC, TDBC, HBC}
-	}
-	protosInt := make([]protocols.Protocol, 0, len(protosPub))
-	for _, p := range protosPub {
-		ip, err := p.internal()
-		if err != nil {
-			return nil, err
-		}
-		protosInt = append(protosInt, ip)
-	}
-	trials := cfg.Trials
-	if trials <= 0 {
-		trials = 2000
-	}
-	is := cfg.Scenario.internal()
-	res, err := sim.RunOutage(sim.OutageConfig{
-		Mean:      is.G,
-		P:         is.P,
-		Protocols: protosInt,
-		Target:    protocols.RatePair{Ra: cfg.Target.Ra, Rb: cfg.Target.Rb},
-		Trials:    trials,
-		Seed:      cfg.Seed,
+	res, err := defaultEngine.Simulate(context.Background(), SimSpec{
+		Fading: &FadingSpec{
+			Scenario:  cfg.Scenario,
+			Protocols: cfg.Protocols,
+			Target:    cfg.Target,
+		},
+		Trials: cfg.Trials,
+		Seed:   cfg.Seed,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("bicoop: %w", err)
+		return nil, err
 	}
-	out := make(map[Protocol]FadingStats, len(protosPub))
-	for i, p := range protosPub {
-		st := res.ByProtocol[protosInt[i]]
-		out[p] = FadingStats{MeanOptSumRate: st.MeanOptSumRate, OutageProb: st.OutageProb}
-	}
-	return out, nil
+	return res.Fading, nil
 }
 
 // ErasureLinks specifies a three-link erasure network for the bit-true
@@ -411,25 +358,24 @@ type BitTrueTDBCConfig struct {
 // SimulateBitTrueTDBC runs the TDBC protocol bit by bit over erasure links:
 // random linear codes, overheard side information, XOR network coding at the
 // relay, Gaussian-elimination decoding. Trials are sharded across Workers
-// goroutines.
+// goroutines. It is a one-shot convenience over DefaultEngine().Simulate
+// with a BitTrueTDBCSpec; prefer the engine for cancellation and progress.
 func SimulateBitTrueTDBC(cfg BitTrueTDBCConfig) (BitTrueResult, error) {
-	res, err := sim.RunBitTrueTDBC(sim.BitTrueConfig{
-		Net:         sim.ErasureNetwork{EpsAR: cfg.Links.EpsAR, EpsBR: cfg.Links.EpsBR, EpsAB: cfg.Links.EpsAB},
-		Rates:       protocols.RatePair{Ra: cfg.Rates.Ra, Rb: cfg.Rates.Rb},
-		Durations:   cfg.Durations,
-		BlockLength: cfg.BlockLength,
-		Trials:      cfg.Trials,
-		Seed:        cfg.Seed,
-		Workers:     cfg.Workers,
+	res, err := defaultEngine.Simulate(context.Background(), SimSpec{
+		BitTrueTDBC: &BitTrueTDBCSpec{
+			Links:       cfg.Links,
+			Rates:       cfg.Rates,
+			Durations:   cfg.Durations,
+			BlockLength: cfg.BlockLength,
+		},
+		Trials:  cfg.Trials,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
 	})
 	if err != nil {
-		return BitTrueResult{}, fmt.Errorf("bicoop: %w", err)
+		return BitTrueResult{}, err
 	}
-	return BitTrueResult{
-		SuccessProb:      res.SuccessProb,
-		RelayFailures:    res.RelayFailures,
-		TerminalFailures: res.TerminalFailures,
-	}, nil
+	return *res.BitTrue, nil
 }
 
 // AmplifyForwardSumRate evaluates the two-phase amplify-and-forward scheme
@@ -438,6 +384,9 @@ func SimulateBitTrueTDBC(cfg BitTrueTDBCConfig) (BitTrueResult, error) {
 // A baseline against which the paper's decode-and-forward protocols are
 // positioned.
 func AmplifyForwardSumRate(s Scenario) (SumRateResult, error) {
+	if err := s.Validate(); err != nil {
+		return SumRateResult{}, err
+	}
 	res, err := protocols.AFSumRate(s.internal())
 	if err != nil {
 		return SumRateResult{}, fmt.Errorf("bicoop: %w", err)
@@ -453,6 +402,9 @@ func AmplifyForwardSumRate(s Scenario) (SumRateResult, error) {
 // bound (reference [9]) — the ceiling the paper's half-duplex protocols
 // chase.
 func FullDuplexSumRate(s Scenario) (SumRateResult, error) {
+	if err := s.Validate(); err != nil {
+		return SumRateResult{}, err
+	}
 	res, err := protocols.FullDuplexSumRate(s.internal())
 	if err != nil {
 		return SumRateResult{}, fmt.Errorf("bicoop: %w", err)
@@ -468,6 +420,9 @@ func FullDuplexSumRate(s Scenario) (SumRateResult, error) {
 func HalfDuplexPenalty(p Protocol, s Scenario) (float64, error) {
 	ip, err := p.internal()
 	if err != nil {
+		return 0, err
+	}
+	if err := s.Validate(); err != nil {
 		return 0, err
 	}
 	pen, err := protocols.HalfDuplexPenalty(ip, s.internal())
@@ -512,24 +467,23 @@ type BitTrueMABCConfig struct {
 // bit: both terminals transmit parities of their messages over a shared
 // linear code simultaneously, the relay decodes only the XOR
 // (physical-layer network coding) and rebroadcasts it. Trials are sharded
-// across cfg.Workers goroutines.
+// across cfg.Workers goroutines. It is a one-shot convenience over
+// DefaultEngine().Simulate with a BitTrueMABCSpec.
 func SimulateBitTrueMABC(cfg BitTrueMABCConfig) (BitTrueResult, error) {
-	res, err := sim.RunBitTrueMABC(sim.MABCBitTrueConfig{
-		EpsMAC: cfg.Links.EpsMAC, EpsRA: cfg.Links.EpsRA, EpsRB: cfg.Links.EpsRB,
-		Rate:        cfg.Rate,
-		BlockLength: cfg.BlockLength,
-		Trials:      cfg.Trials,
-		Seed:        cfg.Seed,
-		Workers:     cfg.Workers,
+	res, err := defaultEngine.Simulate(context.Background(), SimSpec{
+		BitTrueMABC: &BitTrueMABCSpec{
+			Links:       cfg.Links,
+			Rate:        cfg.Rate,
+			BlockLength: cfg.BlockLength,
+		},
+		Trials:  cfg.Trials,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
 	})
 	if err != nil {
-		return BitTrueResult{}, fmt.Errorf("bicoop: %w", err)
+		return BitTrueResult{}, err
 	}
-	return BitTrueResult{
-		SuccessProb:      res.SuccessProb,
-		RelayFailures:    res.RelayFailures,
-		TerminalFailures: res.TerminalFailures,
-	}, nil
+	return *res.BitTrue, nil
 }
 
 // Experiments returns the ids of every registered reproduction experiment
@@ -547,12 +501,10 @@ func DescribeExperiment(id string) (string, error) {
 
 // RunExperiment executes a reproduction experiment and renders its charts,
 // tables and findings to w. Quick mode reduces resolutions for fast runs.
+// It is a convenience over DefaultEngine().RunExperiment with a background
+// context.
 func RunExperiment(id string, quick bool, seed int64, w io.Writer) error {
-	res, err := experiments.Run(id, experiments.Config{Quick: quick, Seed: seed})
-	if err != nil {
-		return fmt.Errorf("bicoop: %w", err)
-	}
-	return renderResult(res, w)
+	return defaultEngine.RunExperiment(context.Background(), id, quick, seed, w)
 }
 
 func renderResult(res experiments.Result, w io.Writer) error {

@@ -21,24 +21,41 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"bicoop"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C (or SIGTERM) cancels the run context; the engine's context
+	// plumbing stops in-flight sweeps and Monte Carlo shard loops within
+	// one trial, so whatever partial output was produced is still valid.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "bcc: interrupted — partial results above are valid for the trials completed")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "bcc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// eng is the CLI's session engine: one evaluator pool shared by every
+// subcommand, batch and sweep.
+var eng = bicoop.DefaultEngine()
+
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing subcommand")
@@ -47,15 +64,15 @@ func run(args []string) error {
 	case "list":
 		return cmdList()
 	case "run":
-		return cmdRun(args[1:])
+		return cmdRun(ctx, args[1:])
 	case "all":
-		return cmdAll(args[1:])
+		return cmdAll(ctx, args[1:])
 	case "bounds":
 		return cmdBounds(args[1:])
 	case "region":
 		return cmdRegion(args[1:])
 	case "place":
-		return cmdPlace(args[1:])
+		return cmdPlace(ctx, args[1:])
 	case "escape":
 		return cmdEscape(args[1:])
 	case "penalty":
@@ -129,7 +146,7 @@ func cmdPenalty(args []string) error {
 	fmt.Printf("full-duplex DF ceiling: %.4f bits/use; AF 2-phase: %.4f bits/use\n\n", fd.Sum, af.Sum)
 	fmt.Printf("%-8s %10s %12s\n", "protocol", "sum rate", "of ceiling")
 	for _, proto := range bicoop.AllProtocols() {
-		res, err := bicoop.OptimalSumRate(proto, bicoop.Inner, s)
+		res, err := eng.SumRate(proto, bicoop.Inner, s)
 		if err != nil {
 			return err
 		}
@@ -192,7 +209,7 @@ func withPerf(workers int, cpuprofile string, fn func() error) error {
 	return fn()
 }
 
-func cmdRun(args []string) error {
+func cmdRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced resolution for a fast run")
 	seed := fs.Int64("seed", 1, "simulation seed")
@@ -209,11 +226,11 @@ func cmdRun(args []string) error {
 		return err
 	}
 	return withPerf(*workers, *cpuprofile, func() error {
-		return bicoop.RunExperiment(id, *quick, *seed, os.Stdout)
+		return eng.RunExperiment(ctx, id, *quick, *seed, os.Stdout)
 	})
 }
 
-func cmdAll(args []string) error {
+func cmdAll(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("all", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced resolution for a fast run")
 	seed := fs.Int64("seed", 1, "simulation seed")
@@ -222,8 +239,12 @@ func cmdAll(args []string) error {
 		return err
 	}
 	return withPerf(*workers, *cpuprofile, func() error {
-		for _, id := range bicoop.Experiments() {
-			if err := bicoop.RunExperiment(id, *quick, *seed, os.Stdout); err != nil {
+		ids := bicoop.Experiments()
+		for i, id := range ids {
+			if err := eng.RunExperiment(ctx, id, *quick, *seed, os.Stdout); err != nil {
+				if errors.Is(err, context.Canceled) {
+					fmt.Printf("\n(interrupted after %d of %d experiments)\n", i, len(ids))
+				}
 				return err
 			}
 			fmt.Println()
@@ -243,7 +264,7 @@ func cmdBounds(args []string) error {
 	fmt.Printf("%-8s %-7s %10s %10s %10s   %s\n", "protocol", "bound", "Ra", "Rb", "Ra+Rb", "durations")
 	for _, proto := range bicoop.AllProtocols() {
 		for _, b := range []bicoop.Bound{bicoop.Inner, bicoop.Outer} {
-			res, err := bicoop.OptimalSumRate(proto, b, s)
+			res, err := eng.SumRate(proto, b, s)
 			if err != nil {
 				return err
 			}
@@ -281,7 +302,7 @@ func cmdRegion(args []string) error {
 		return fmt.Errorf("unknown bound %q", *boundName)
 	}
 	s := bicoop.Scenario{PowerDB: *p, GabDB: *gab, GarDB: *gar, GbrDB: *gbr}
-	r, err := bicoop.RateRegion(proto, bound, s)
+	r, err := eng.Region(proto, bound, s)
 	if err != nil {
 		return err
 	}
@@ -301,7 +322,7 @@ func cmdRegion(args []string) error {
 	return nil
 }
 
-func cmdPlace(args []string) error {
+func cmdPlace(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("place", flag.ContinueOnError)
 	p := fs.Float64("p", 15, "per-node transmit power in dB")
 	pos := fs.Float64("pos", 0.3, "relay position on the a-b segment (0,1)")
@@ -309,21 +330,23 @@ func cmdPlace(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	s, err := bicoop.RelayPlacement{Pos: *pos, Exponent: *gamma}.Scenario(*p)
-	if err != nil {
-		return err
+	// One-point sweep over the relay-placement axis: the engine resolves the
+	// geometry to gains and streams each protocol's optimum as it solves.
+	spec := bicoop.SweepSpec{
+		PowersDB:   []float64{*p},
+		Placements: []bicoop.RelayPlacement{{Pos: *pos, Exponent: *gamma}},
 	}
-	fmt.Printf("relay at %.2f (gamma %.1f): Gab=%.2f dB Gar=%.2f dB Gbr=%.2f dB\n\n",
-		*pos, *gamma, s.GabDB, s.GarDB, s.GbrDB)
-	fmt.Printf("%-8s %10s\n", "protocol", "sum rate")
-	for _, proto := range bicoop.AllProtocols() {
-		res, err := bicoop.OptimalSumRate(proto, bicoop.Inner, s)
-		if err != nil {
-			return err
+	header := false
+	return eng.Sweep(ctx, spec, func(pt bicoop.SweepPoint) error {
+		if !header {
+			fmt.Printf("relay at %.2f (gamma %.1f): Gab=%.2f dB Gar=%.2f dB Gbr=%.2f dB\n\n",
+				*pos, *gamma, pt.Scenario.GabDB, pt.Scenario.GarDB, pt.Scenario.GbrDB)
+			fmt.Printf("%-8s %10s\n", "protocol", "sum rate")
+			header = true
 		}
-		fmt.Printf("%-8s %10.4f\n", proto, res.Sum)
-	}
-	return nil
+		fmt.Printf("%-8s %10.4f\n", pt.Protocol, pt.Result.Sum)
+		return nil
+	})
 }
 
 func parseProtocol(name string) (bicoop.Protocol, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -32,12 +33,12 @@ func TestRunDispatch(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := run(tt.args)
+			err := run(context.Background(), tt.args)
 			if tt.wantErr && err == nil {
-				t.Errorf("run(%v) = nil, want error", tt.args)
+				t.Errorf("run(ctx, %v) = nil, want error", tt.args)
 			}
 			if !tt.wantErr && err != nil {
-				t.Errorf("run(%v) = %v, want nil", tt.args, err)
+				t.Errorf("run(ctx, %v) = %v, want nil", tt.args, err)
 			}
 		})
 	}

@@ -19,15 +19,55 @@
 // durations by linear programming, computes full rate regions, verifies the
 // paper's findings (MABC/TDBC SNR crossover; achievable HBC points beyond
 // both outer bounds), and provides Monte Carlo simulators: Rayleigh
-// block-fading outage and a bit-true TDBC implementation over erasure
+// block-fading outage and bit-true TDBC/MABC implementations over erasure
 // networks using random linear codes and XOR network coding.
 //
-// The API in this package is a stable facade; the machinery lives under
-// internal/ (see DESIGN.md for the system inventory). Quickstart:
+// # The Engine
 //
+// The API centers on the concurrency-safe Engine: it owns pooled
+// evaluators (compiled constraint templates keyed by (protocol, bound),
+// reusable LP workspaces, closed-form fast paths) and the simulator worker
+// pools, and exposes context-aware methods for every workload shape:
+//
+//	eng := bicoop.NewEngine()
 //	s := bicoop.Scenario{PowerDB: 10, GabDB: -7, GarDB: 0, GbrDB: 5}
-//	res, err := bicoop.OptimalSumRate(bicoop.HBC, bicoop.Inner, s)
-//	// res.Sum is the LP-optimal Ra+Rb; res.Durations the phase split.
+//
+//	// Single evaluations.
+//	res, err := eng.SumRate(bicoop.HBC, bicoop.Inner, s)
+//	reg, err := eng.Region(bicoop.HBC, bicoop.Inner, s)
+//	ok, err := eng.Feasible(bicoop.HBC, bicoop.Inner, s, bicoop.RatePoint{Ra: 1, Rb: 1})
+//
+//	// Batches: thousands of scenarios on one warm evaluator.
+//	results, err := eng.SumRateBatch(ctx, bicoop.TDBC, bicoop.Inner, scenarios)
+//
+//	// Declarative grids (power × relay placement × protocol, plus an
+//	// erasure-network axis), streamed point by point.
+//	err = eng.Sweep(ctx, bicoop.SweepSpec{...}, func(pt bicoop.SweepPoint) error { ... })
+//
+//	// The unified Monte Carlo entry point: one SimSpec selects the fading
+//	// or bit-true simulator under a common Trials/Seed/Workers/Progress
+//	// contract; cancelling ctx stops the shard loops within one trial and
+//	// returns the statistics over the trials completed so far.
+//	sim, err := eng.Simulate(ctx, bicoop.SimSpec{Fading: &bicoop.FadingSpec{Scenario: s}})
+//
+// All Engine methods are safe for concurrent use from many goroutines.
+// Inputs are validated up front with typed sentinels (ErrInvalidScenario,
+// ErrInvalidTrials, ErrInvalidBlockLength, ...) so malformed scenarios fail
+// loudly instead of propagating NaNs into results.
+//
+// # One-shot conveniences and migration
+//
+// The historical free functions (OptimalSumRate, RateRegion, Feasible,
+// SimulateFading, SimulateBitTrueTDBC, SimulateBitTrueMABC, RunExperiment)
+// remain and behave as before; they are now thin wrappers over a shared
+// package-level engine (DefaultEngine). Existing code keeps working
+// unchanged. Code that evaluates many scenarios — figure sweeps, parameter
+// studies, services — should migrate to an Engine and the batch/sweep
+// APIs, which amortize evaluator reuse across calls instead of paying pool
+// traffic and result allocation per scenario; code that runs simulations
+// interactively should migrate to Engine.Simulate for context
+// cancellation and progress reporting. The machinery lives under internal/
+// (see DESIGN.md for the system inventory).
 //
 // # Performance and profiling
 //
@@ -35,9 +75,11 @@
 // re-solved per protocol per fading block by the Monte Carlo layer. The hot
 // path is allocation-free in steady state: internal/protocols.Evaluator
 // caches the scenario-independent constraint structure per protocol/bound,
-// solves the two- and three-phase bounds (DT, MABC, TDBC) in closed form by
-// candidate-vertex enumeration, and falls back to a reusable-workspace
-// simplex (internal/simplex.Workspace, Problem.SolveIn) for Naive4/HBC.
+// evaluates only the mutual-information terms that structure references
+// (exact aliases share one transcendental), solves the two- and three-phase
+// bounds (DT, MABC, TDBC) in closed form by candidate-vertex enumeration,
+// and falls back to a reusable-workspace simplex (internal/simplex) for
+// Naive4/HBC.
 //
 // The bit-true simulators are word-parallel and sharded: internal/gf2 packs
 // rows into flat []uint64 matrices redrawn in place per block
@@ -45,9 +87,11 @@
 // tableau (gf2.Solver.SolveInto and the SolveConsistentInto early-stop
 // variant for noiseless erasure observations), and the TDBC/MABC trial
 // loops run on a worker pool with per-worker RNGs, codes, and scratch —
-// zero allocations per block. Allocation regressions are pinned by
-// testing.AllocsPerRun tests next to the hot paths (internal/protocols,
-// internal/sim, internal/simplex, internal/gf2).
+// zero allocations per block. Context cancellation costs one atomic flag
+// load per trial (internal/sim's runGate), so a cancelled run stops within
+// one trial without slowing an uncancelled one. Allocation regressions are
+// pinned by testing.AllocsPerRun tests next to the hot paths
+// (internal/protocols, internal/sim, internal/simplex, internal/gf2).
 //
 // Start perf work from a profile, not a guess:
 //
@@ -60,11 +104,11 @@
 //	# or profile the micro-benchmarks around the kernel you are changing
 //	go test ./internal/sim/ -run '^$' -bench BenchmarkOutageTrial \
 //	    -benchmem -cpuprofile /tmp/trial.prof
-//	go test ./internal/sim/ -run '^$' -bench BenchmarkBitTrueTDBCBlock \
-//	    -benchmem -cpuprofile /tmp/block.prof
+//	go test . -run '^$' -bench 'Benchmark(Engine|OneShot)SumRateBatch$' \
+//	    -benchmem   # engine batch vs 1k one-shot calls over the same grid
 //	go test ./internal/sim/ -run '^$' -bench 'BenchmarkBitTrue(TDBC|MABC)(Parallel)?$' \
 //	    -benchtime 10x -benchmem   # full runs, sequential vs sharded
-//	go tool pprof -top /tmp/block.prof
+//	go tool pprof -top /tmp/trial.prof
 //
 //	# record the before/after ledger (writes BENCH_*.json)
 //	./scripts/bench.sh BENCH_after.json

@@ -1,0 +1,311 @@
+package bicoop
+
+// engine.go — the session-oriented core of the public API. An Engine owns
+// the pooled evaluator machinery (compiled constraint templates keyed by
+// (protocol, bound), reusable simplex workspaces, closed-form fast paths)
+// and the simulator worker-pool defaults, and exposes context-aware batch,
+// sweep and simulation entry points. The package-level one-shot functions in
+// bicoop.go are thin wrappers over a shared default engine; workloads that
+// evaluate many scenarios (grids, Monte Carlo posts, services) should hold
+// an Engine and use the batch APIs, which amortize evaluator reuse across
+// calls instead of paying pool traffic and result allocation per scenario.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"bicoop/internal/channel"
+	"bicoop/internal/experiments"
+	"bicoop/internal/protocols"
+	"bicoop/internal/xmath"
+)
+
+// Validation errors returned by the facade. They are detected up front so
+// malformed inputs fail loudly instead of propagating NaNs into results.
+var (
+	// ErrInvalidScenario reports a Scenario with NaN or infinite fields.
+	ErrInvalidScenario = errors.New("bicoop: invalid scenario")
+	// ErrInvalidRates reports a NaN or infinite target rate.
+	ErrInvalidRates = errors.New("bicoop: invalid rates")
+	// ErrInvalidTrials reports a negative trial count, or a missing one
+	// where no default exists (the bit-true simulators).
+	ErrInvalidTrials = errors.New("bicoop: invalid trial count")
+	// ErrInvalidBlockLength reports a non-positive bit-true block length.
+	ErrInvalidBlockLength = errors.New("bicoop: invalid block length")
+	// ErrInvalidSimSpec reports a SimSpec selecting zero or several
+	// simulators.
+	ErrInvalidSimSpec = errors.New("bicoop: invalid simulation spec")
+	// ErrInvalidSweepSpec reports an unusable SweepSpec (e.g. nil yield).
+	ErrInvalidSweepSpec = errors.New("bicoop: invalid sweep spec")
+)
+
+// Validate rejects NaN and infinite scenario parameters. All fields are dB
+// quantities, so any finite value is representable; non-finite values would
+// otherwise surface as NaN rates far downstream.
+func (s Scenario) Validate() error {
+	fields := [...]struct {
+		name string
+		v    float64
+	}{
+		{"PowerDB", s.PowerDB},
+		{"GabDB", s.GabDB},
+		{"GarDB", s.GarDB},
+		{"GbrDB", s.GbrDB},
+	}
+	for _, f := range fields {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("%w: %s = %g", ErrInvalidScenario, f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// validateRatePoint rejects NaN and infinite target rates (negative rates
+// are semantically meaningful to Feasible — trivially infeasible — and are
+// handled downstream).
+func validateRatePoint(pt RatePoint) error {
+	for _, v := range [...]float64{pt.Ra, pt.Rb} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: (%g, %g)", ErrInvalidRates, pt.Ra, pt.Rb)
+		}
+	}
+	return nil
+}
+
+// Engine is the concurrency-safe entry point for evaluating the paper's
+// bounds at scale. It owns a pool of protocols.Evaluator (each carrying the
+// compiled-spec caches keyed by (protocol, bound) plus reusable LP
+// workspaces) and the default worker count for the Monte Carlo simulators.
+// All methods are safe for concurrent use from many goroutines; the
+// zero-cost way to share one across a service is a single package-wide
+// instance.
+type Engine struct {
+	workers int
+	evals   sync.Pool
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithWorkers sets the default worker-pool size for Simulate (and any other
+// sharded run the engine owns). Non-positive keeps the package default,
+// GOMAXPROCS. A SimSpec's Workers field overrides it per run.
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// NewEngine returns a ready-to-use engine. Engines are cheap: the heavy
+// state (constraint templates) is shared process-wide, and evaluators are
+// created lazily as concurrency demands.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{}
+	e.evals.New = func() any { return protocols.NewEvaluator() }
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// defaultEngine backs the package-level one-shot convenience functions.
+var defaultEngine = NewEngine()
+
+// DefaultEngine returns the shared engine behind the package-level one-shot
+// functions, for callers that want to mix the two styles without a second
+// evaluator pool.
+func DefaultEngine() *Engine { return defaultEngine }
+
+func (e *Engine) getEval() *protocols.Evaluator   { return e.evals.Get().(*protocols.Evaluator) }
+func (e *Engine) putEval(ev *protocols.Evaluator) { e.evals.Put(ev) }
+
+// ctxDone returns a non-nil error when ctx has ended. It always satisfies
+// errors.Is(err, ctx.Err()) — so the documented errors.Is(err,
+// context.Canceled) check works — and additionally wraps a distinct
+// cancellation cause (context.WithCancelCause) when one was supplied.
+func ctxDone(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, err) {
+		return fmt.Errorf("%w: %w", err, cause)
+	}
+	return err
+}
+
+// resolve maps public enums and a scenario to their internal forms,
+// validating everything up front.
+func resolve(p Protocol, b Bound, s Scenario) (protocols.Protocol, protocols.Bound, protocols.Scenario, error) {
+	ip, ib, err := resolveEnums(p, b)
+	if err != nil {
+		return 0, 0, protocols.Scenario{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return 0, 0, protocols.Scenario{}, err
+	}
+	return ip, ib, s.internal(), nil
+}
+
+func resolveEnums(p Protocol, b Bound) (protocols.Protocol, protocols.Bound, error) {
+	ip, err := p.internal()
+	if err != nil {
+		return 0, 0, err
+	}
+	ib, err := b.internal()
+	if err != nil {
+		return 0, 0, err
+	}
+	return ip, ib, nil
+}
+
+// SumRate maximizes Ra+Rb over the protocol bound at one scenario, jointly
+// optimizing phase durations (the quantity plotted in Fig 3). It draws an
+// evaluator from the engine's pool, so repeated calls hit the cached
+// constraint templates; for thousands of scenarios prefer SumRateBatch.
+func (e *Engine) SumRate(p Protocol, b Bound, s Scenario) (SumRateResult, error) {
+	ip, ib, is, err := resolve(p, b, s)
+	if err != nil {
+		return SumRateResult{}, err
+	}
+	ev := e.getEval()
+	defer e.putEval(ev)
+	opt, err := ev.WeightedRate(ip, ib, is, 1, 1)
+	if err != nil {
+		return SumRateResult{}, fmt.Errorf("bicoop: %w", err)
+	}
+	return SumRateResult{
+		Sum:       opt.Objective,
+		Point:     RatePoint{Ra: opt.Rates.Ra, Rb: opt.Rates.Rb},
+		Durations: append([]float64(nil), opt.Durations...),
+	}, nil
+}
+
+// batchCheckStride is how many scenarios SumRateBatch solves between
+// context checks; one solve is microseconds, so cancellation latency stays
+// well under a millisecond without per-solve context traffic.
+const batchCheckStride = 256
+
+// dbMemo caches one dB→linear conversion. Grid batches typically vary one
+// or two axes at a time, so consecutive scenarios share most fields and the
+// math.Pow behind each repeated field is paid once per change instead of
+// once per scenario.
+type dbMemo struct {
+	db, lin float64
+	set     bool
+}
+
+func (m *dbMemo) of(db float64) float64 {
+	if !m.set || db != m.db {
+		m.db, m.lin, m.set = db, xmath.FromDB(db), true
+	}
+	return m.lin
+}
+
+// scenarioMemo converts facade scenarios to internal (linear) form with a
+// per-field conversion cache. The conversion is bit-identical to
+// Scenario.internal (both funnel through xmath.FromDB).
+type scenarioMemo struct{ p, ab, ar, br dbMemo }
+
+func (m *scenarioMemo) internal(s Scenario) protocols.Scenario {
+	return protocols.Scenario{
+		P: m.p.of(s.PowerDB),
+		G: channel.Gains{AB: m.ab.of(s.GabDB), AR: m.ar.of(s.GarDB), BR: m.br.of(s.GbrDB)},
+	}
+}
+
+// SumRateBatch evaluates the bound's optimal sum rate for every scenario
+// with a single evaluator held across the whole batch — no per-call spec
+// compilation, pool traffic, or per-result allocation beyond the shared
+// durations backing array. Results are returned in input order. On
+// cancellation it returns the results computed so far alongside the context
+// error.
+func (e *Engine) SumRateBatch(ctx context.Context, p Protocol, b Bound, scenarios []Scenario) ([]SumRateResult, error) {
+	ip, ib, err := resolveEnums(p, b)
+	if err != nil {
+		return nil, err
+	}
+	ev := e.getEval()
+	defer e.putEval(ev)
+	out := make([]SumRateResult, 0, len(scenarios))
+	var durs []float64 // one backing array, carved per result
+	var memo scenarioMemo
+	for i, s := range scenarios {
+		if i%batchCheckStride == 0 {
+			if err := ctxDone(ctx); err != nil {
+				return out, fmt.Errorf("bicoop: %w", err)
+			}
+		}
+		if err := s.Validate(); err != nil {
+			return out, fmt.Errorf("scenario %d: %w", i, err)
+		}
+		opt, err := ev.WeightedRate(ip, ib, memo.internal(s), 1, 1)
+		if err != nil {
+			return out, fmt.Errorf("bicoop: scenario %d: %w", i, err)
+		}
+		if durs == nil {
+			durs = make([]float64, 0, len(opt.Durations)*len(scenarios))
+		}
+		start := len(durs)
+		durs = append(durs, opt.Durations...)
+		out = append(out, SumRateResult{
+			Sum:       opt.Objective,
+			Point:     RatePoint{Ra: opt.Rates.Ra, Rb: opt.Rates.Rb},
+			Durations: durs[start:len(durs):len(durs)],
+		})
+	}
+	return out, nil
+}
+
+// Region computes the full rate region of a protocol bound (one curve of
+// Fig 4), reusing a pooled evaluator across the support-direction sweep.
+func (e *Engine) Region(p Protocol, b Bound, s Scenario) (Region, error) {
+	ip, ib, is, err := resolve(p, b, s)
+	if err != nil {
+		return Region{}, err
+	}
+	ev := e.getEval()
+	defer e.putEval(ev)
+	pg, err := ev.Region(ip, ib, is, protocols.RegionOptions{})
+	if err != nil {
+		return Region{}, fmt.Errorf("bicoop: %w", err)
+	}
+	return Region{poly: pg}, nil
+}
+
+// Feasible reports whether a rate pair is within the protocol bound for
+// some phase-duration split (an exact LP test, independent of region
+// polygon resolution). Negative rates are trivially infeasible.
+func (e *Engine) Feasible(p Protocol, b Bound, s Scenario, pt RatePoint) (bool, error) {
+	ip, ib, is, err := resolve(p, b, s)
+	if err != nil {
+		return false, err
+	}
+	if err := validateRatePoint(pt); err != nil {
+		return false, err
+	}
+	ev := e.getEval()
+	defer e.putEval(ev)
+	ok, err := ev.Feasible(ip, ib, is, protocols.RatePair{Ra: pt.Ra, Rb: pt.Rb})
+	if err != nil {
+		return false, fmt.Errorf("bicoop: %w", err)
+	}
+	return ok, nil
+}
+
+// RunExperiment executes a reproduction experiment and renders its charts,
+// tables and findings to w. Quick mode reduces resolutions for fast runs.
+// The context bounds the run: cancelling it stops in-flight Monte Carlo
+// work within one trial.
+func (e *Engine) RunExperiment(ctx context.Context, id string, quick bool, seed int64, w io.Writer) error {
+	res, err := experiments.Run(id, experiments.Config{Quick: quick, Seed: seed, Ctx: ctx})
+	if err != nil {
+		return fmt.Errorf("bicoop: %w", err)
+	}
+	return renderResult(res, w)
+}

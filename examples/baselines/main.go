@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,16 +31,28 @@ func main() {
 	fmt.Printf("\n%-7s %8s %8s %8s %8s %8s %12s %10s\n",
 		"P (dB)", "DT", "MABC", "TDBC", "HBC", "AF", "full-duplex", "HBC/FD")
 
-	for _, pdb := range []float64{-5, 0, 5, 10, 15, 20} {
-		s := bicoop.Scenario{PowerDB: pdb, GabDB: -7, GarDB: 0, GbrDB: 5}
-		sums := make(map[bicoop.Protocol]float64, 4)
-		for _, p := range []bicoop.Protocol{bicoop.DT, bicoop.MABC, bicoop.TDBC, bicoop.HBC} {
-			res, err := bicoop.OptimalSumRate(p, bicoop.Inner, s)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sums[p] = res.Sum
+	// The power sweep is a batch workload: one engine call per protocol
+	// evaluates the whole power axis on a single warm evaluator instead of
+	// re-entering the facade per (protocol, power) cell.
+	eng := bicoop.NewEngine()
+	ctx := context.Background()
+	powersDB := []float64{-5, 0, 5, 10, 15, 20}
+	scenarios := make([]bicoop.Scenario, len(powersDB))
+	for i, pdb := range powersDB {
+		scenarios[i] = bicoop.Scenario{PowerDB: pdb, GabDB: -7, GarDB: 0, GbrDB: 5}
+	}
+	protos := []bicoop.Protocol{bicoop.DT, bicoop.MABC, bicoop.TDBC, bicoop.HBC}
+	sums := make(map[bicoop.Protocol][]bicoop.SumRateResult, len(protos))
+	for _, p := range protos {
+		batch, err := eng.SumRateBatch(ctx, p, bicoop.Inner, scenarios)
+		if err != nil {
+			log.Fatal(err)
 		}
+		sums[p] = batch
+	}
+
+	for i, pdb := range powersDB {
+		s := scenarios[i]
 		af, err := bicoop.AmplifyForwardSumRate(s)
 		if err != nil {
 			log.Fatal(err)
@@ -53,8 +66,8 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-7.0f %8.4f %8.4f %8.4f %8.4f %8.4f %12.4f %9.0f%%\n",
-			pdb, sums[bicoop.DT], sums[bicoop.MABC], sums[bicoop.TDBC], sums[bicoop.HBC],
-			af.Sum, fd.Sum, 100*pen)
+			pdb, sums[bicoop.DT][i].Sum, sums[bicoop.MABC][i].Sum, sums[bicoop.TDBC][i].Sum,
+			sums[bicoop.HBC][i].Sum, af.Sum, fd.Sum, 100*pen)
 	}
 
 	fmt.Println(`

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -22,6 +23,10 @@ import (
 )
 
 const powerDB = 15 // per-node transmit power over unit noise, dB
+
+// eng is shared by both path-loss studies so the second reuses warm
+// evaluators.
+var eng = bicoop.NewEngine()
 
 func main() {
 	log.SetFlags(0)
@@ -46,30 +51,42 @@ func study(gamma float64) {
 	}
 	fmt.Println("   HBC advantage")
 
+	// The placement study is one engine sweep: the grid is declared once
+	// and the engine streams each evaluated point, holding a single warm
+	// evaluator across the whole grid. Points arrive row-major (placement
+	// outer, protocol inner), so a row is complete every len(protos) points.
+	var placements []bicoop.RelayPlacement
 	for pos := 0.10; pos < 0.91; pos += 0.05 {
-		s, err := bicoop.RelayPlacement{Pos: pos, Exponent: gamma}.Scenario(powerDB)
-		if err != nil {
-			log.Fatal(err)
+		placements = append(placements, bicoop.RelayPlacement{Pos: pos, Exponent: gamma})
+	}
+	spec := bicoop.SweepSpec{
+		Protocols:  protos,
+		PowersDB:   []float64{powerDB},
+		Placements: placements,
+	}
+	rates := make(map[bicoop.Protocol]float64, len(protos))
+	err := eng.Sweep(context.Background(), spec, func(pt bicoop.SweepPoint) error {
+		pos := pt.Placement.Pos
+		if pt.Index%len(protos) == 0 {
+			fmt.Printf("%-6.2f", pos)
 		}
-		rates := make(map[bicoop.Protocol]float64, len(protos))
-		fmt.Printf("%-6.2f", pos)
-		for _, p := range protos {
-			res, err := bicoop.OptimalSumRate(p, bicoop.Inner, s)
-			if err != nil {
-				log.Fatal(err)
+		rates[pt.Protocol] = pt.Result.Sum
+		if pt.Result.Sum > bestRate[pt.Protocol] {
+			bestRate[pt.Protocol], bestPos[pt.Protocol] = pt.Result.Sum, pos
+		}
+		fmt.Printf(" %8.4f", pt.Result.Sum)
+		if pt.Index%len(protos) == len(protos)-1 {
+			adv := rates[bicoop.HBC] - math.Max(rates[bicoop.MABC], rates[bicoop.TDBC])
+			if adv > 1e-4 {
+				hbcWindow = append(hbcWindow, pos)
+				fmt.Printf("   +%.4f", adv)
 			}
-			rates[p] = res.Sum
-			if res.Sum > bestRate[p] {
-				bestRate[p], bestPos[p] = res.Sum, pos
-			}
-			fmt.Printf(" %8.4f", res.Sum)
+			fmt.Println()
 		}
-		adv := rates[bicoop.HBC] - math.Max(rates[bicoop.MABC], rates[bicoop.TDBC])
-		if adv > 1e-4 {
-			hbcWindow = append(hbcWindow, pos)
-			fmt.Printf("   +%.4f", adv)
-		}
-		fmt.Println()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("\nbest placement per protocol:")

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,6 +22,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fading: ")
 
+	eng := bicoop.NewEngine()
+	ctx := context.Background()
 	const trials = 3000
 	target := bicoop.RatePoint{Ra: 0.5, Rb: 0.5}
 	protos := []bicoop.Protocol{bicoop.MABC, bicoop.TDBC, bicoop.HBC}
@@ -31,22 +34,27 @@ func main() {
 
 	for _, pdb := range []float64{0, 5, 10} {
 		s := bicoop.Scenario{PowerDB: pdb, GabDB: -7, GarDB: 0, GbrDB: 5}
-		stats, err := bicoop.SimulateFading(bicoop.FadingConfig{
-			Scenario:  s,
-			Protocols: protos,
-			Target:    target,
-			Trials:    trials,
-			Seed:      2026,
+		// Engine.Simulate is the unified simulator entry point: the fading
+		// spec selects the Rayleigh Monte Carlo, and the context would let a
+		// server cancel the run mid-flight with partial statistics intact.
+		res, err := eng.Simulate(ctx, bicoop.SimSpec{
+			Fading: &bicoop.FadingSpec{
+				Scenario:  s,
+				Protocols: protos,
+				Target:    target,
+			},
+			Trials: trials,
+			Seed:   2026,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		for _, p := range protos {
-			fixed, err := bicoop.OptimalSumRate(p, bicoop.Inner, s)
+			fixed, err := eng.SumRate(p, bicoop.Inner, s)
 			if err != nil {
 				log.Fatal(err)
 			}
-			st := stats[p]
+			st := res.Fading[p]
 			fmt.Printf("%-7.0f %-9s %-12.4f %-12.4f %-10.4f\n",
 				pdb, p, fixed.Sum, st.MeanOptSumRate, st.OutageProb)
 		}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,6 +25,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("networkcoding: ")
+
+	eng := bicoop.NewEngine()
+	ctx := context.Background()
 
 	links := bicoop.ErasureLinks{EpsAR: 0.2, EpsBR: 0.1, EpsAB: 0.6}
 	fmt.Printf("erasure links: a-r %.0f%%, b-r %.0f%%, a-b %.0f%% loss\n",
@@ -47,20 +51,26 @@ func main() {
 	)
 	fmt.Printf("%-11s %-14s %-12s %-15s\n", "rate scale", "success prob", "relay fails", "terminal fails")
 	for _, scale := range []float64{0.70, 0.85, 0.95, 1.05, 1.15, 1.30} {
-		res, err := bicoop.SimulateBitTrueTDBC(bicoop.BitTrueTDBCConfig{
-			Links:       links,
-			Rates:       bicoop.RatePoint{Ra: base.Ra * scale, Rb: base.Rb * scale},
-			Durations:   opt.Durations, // pin, so above-bound points run (and fail)
-			BlockLength: blockLength,
-			Trials:      trials,
-			Seed:        7,
-			Workers:     1, // pinned: the printed numbers stay machine-independent
+		// The unified simulator entry point: the TDBC spec selects the
+		// bit-true erasure machinery under the common Trials/Seed/Workers
+		// run contract.
+		res, err := eng.Simulate(ctx, bicoop.SimSpec{
+			BitTrueTDBC: &bicoop.BitTrueTDBCSpec{
+				Links:       links,
+				Rates:       bicoop.RatePoint{Ra: base.Ra * scale, Rb: base.Rb * scale},
+				Durations:   opt.Durations, // pin, so above-bound points run (and fail)
+				BlockLength: blockLength,
+			},
+			Trials:  trials,
+			Seed:    7,
+			Workers: 1, // pinned: the printed numbers stay machine-independent
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		bt := res.BitTrue
 		fmt.Printf("%-11.2f %-14.3f %-12d %-15d\n",
-			scale, res.SuccessProb, res.RelayFailures, res.TerminalFailures)
+			scale, bt.SuccessProb, bt.RelayFailures, bt.TerminalFailures)
 	}
 
 	fmt.Println("\nwhat happened mechanically:")

@@ -4,6 +4,7 @@ package bicoop_test
 // end to end and pins two independent computation paths against each other.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -32,7 +33,7 @@ func TestLPDurationsDriveBitTrueSuccess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.RunBitTrueTDBC(sim.BitTrueConfig{
+	res, err := sim.RunBitTrueTDBC(context.Background(), sim.BitTrueConfig{
 		Net:         net,
 		Rates:       target,
 		Durations:   durations,
@@ -186,12 +187,12 @@ func TestOutageSimulatorConvergesToAnalyticInDegenerateFading(t *testing.T) {
 		Trials:    3000,
 		Seed:      1,
 	}
-	r1, err := sim.RunOutage(cfg)
+	r1, err := sim.RunOutage(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Seed = 2
-	r2, err := sim.RunOutage(cfg)
+	r2, err := sim.RunOutage(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

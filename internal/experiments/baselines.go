@@ -115,7 +115,7 @@ func runBitSimMABC(cfg Config) (Result, error) {
 		Headers: []string{"rate scale", "success", "95% CI", "relay fails", "terminal fails"},
 	}
 	for i, sc := range scales {
-		res, err := sim.RunBitTrueMABC(sim.MABCBitTrueConfig{
+		res, err := sim.RunBitTrueMABC(cfg.ctx(), sim.MABCBitTrueConfig{
 			EpsMAC: epsMAC, EpsRA: epsRA, EpsRB: epsRB,
 			Rate:        bound * sc,
 			Durations:   durations,

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -22,6 +23,18 @@ type Config struct {
 	Quick bool
 	// Seed drives every randomized component.
 	Seed int64
+	// Ctx, when non-nil, bounds the run: experiments hand it to every Monte
+	// Carlo simulator they drive, so cancelling it stops in-flight work
+	// within one trial. Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx resolves the run context.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // Result is a completed experiment: charts and tables ready to render, plus

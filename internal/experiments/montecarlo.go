@@ -36,7 +36,7 @@ func runFading(cfg Config) (Result, error) {
 	}
 	var findings []string
 	for pi, pdb := range powersDB {
-		res, err := sim.RunOutage(sim.OutageConfig{
+		res, err := sim.RunOutage(cfg.ctx(), sim.OutageConfig{
 			Mean:      Fig4Gains(),
 			P:         xmath.FromDB(pdb),
 			Protocols: protos,
@@ -109,7 +109,7 @@ func runBitSim(cfg Config) (Result, error) {
 		Headers: []string{"rate scale", "success prob", "relay fails", "terminal fails"},
 	}
 	for i, sc := range scales {
-		res, err := sim.RunBitTrueTDBC(sim.BitTrueConfig{
+		res, err := sim.RunBitTrueTDBC(cfg.ctx(), sim.BitTrueConfig{
 			Net:         net,
 			Rates:       protocols.RatePair{Ra: opt.Rates.Ra * sc, Rb: opt.Rates.Rb * sc},
 			Durations:   opt.Durations,

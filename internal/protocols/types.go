@@ -187,15 +187,21 @@ func LinkInfosFromScenario(s Scenario) (LinkInfos, error) {
 		return LinkInfos{}, err
 	}
 	p, g := s.P, s.G
+	// The point-to-point terms alias under reciprocity (a-r, b-r and a-b
+	// each appear three or two times), so each distinct rate is computed
+	// once — this sits on the Monte Carlo per-block path.
+	rAR := channel.LinkRate(p, g.AR)
+	rBR := channel.LinkRate(p, g.BR)
+	rAB := channel.LinkRate(p, g.AB)
 	return LinkInfos{
-		AtoR:       channel.LinkRate(p, g.AR),
-		BtoR:       channel.LinkRate(p, g.BR),
-		AtoB:       channel.LinkRate(p, g.AB),
-		BtoA:       channel.LinkRate(p, g.AB),
-		RtoA:       channel.LinkRate(p, g.AR),
-		RtoB:       channel.LinkRate(p, g.BR),
-		MACAGivenB: channel.LinkRate(p, g.AR),
-		MACBGivenA: channel.LinkRate(p, g.BR),
+		AtoR:       rAR,
+		BtoR:       rBR,
+		AtoB:       rAB,
+		BtoA:       rAB,
+		RtoA:       rAR,
+		RtoB:       rBR,
+		MACAGivenB: rAR,
+		MACBGivenA: rBR,
 		MACSum:     channel.MAC(p, g).Sum,
 		AtoRB:      channel.SIMORate(p, g.AR, g.AB),
 		BtoRA:      channel.SIMORate(p, g.BR, g.AB),

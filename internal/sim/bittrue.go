@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -80,6 +81,10 @@ type BitTrueConfig struct {
 	// per-trial random stream differs (only the trial sharding changes,
 	// exactly as the fading Monte Carlo documents for its workers).
 	Workers int
+	// Progress, when non-nil, is invoked with the cumulative completed trial
+	// count at stride granularity (see runGate). Invocations are serialized
+	// and the reported count is strictly increasing.
+	Progress func(done, total int)
 }
 
 // BitTrueResult reports bit-true decoding outcomes.
@@ -92,7 +97,8 @@ type BitTrueResult struct {
 	// TerminalFailures counts blocks lost at a terminal despite relay
 	// success.
 	TerminalFailures int
-	// Trials echoes the configured trial count.
+	// Trials is the number of trials actually completed — the configured
+	// count unless the run's context was cancelled mid-flight.
 	Trials int
 	// Durations echoes the durations used (after LP derivation if any).
 	Durations []float64
@@ -166,8 +172,10 @@ func deriveTDBCParams(cfg BitTrueConfig) (tdbcParams, []float64, error) {
 // (zero-padded to the longer message per the paper's group construction),
 // and Gaussian-elimination decoding that pools all equations a node holds.
 // Trials are sharded across cfg.Workers goroutines and the per-worker
-// counters merged after the pool drains.
-func RunBitTrueTDBC(cfg BitTrueConfig) (BitTrueResult, error) {
+// counters merged after the pool drains. Cancelling ctx stops every worker
+// within one block; the counts over the blocks completed so far are returned
+// alongside the (wrapped) context error.
+func RunBitTrueTDBC(ctx context.Context, cfg BitTrueConfig) (BitTrueResult, error) {
 	p, durations, err := deriveTDBCParams(cfg)
 	if err != nil {
 		return BitTrueResult{}, err
@@ -180,6 +188,8 @@ func RunBitTrueTDBC(cfg BitTrueConfig) (BitTrueResult, error) {
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
+	gate, stopWatch := startGate(ctx, cfg.Trials, cfg.Progress)
+	defer stopWatch()
 	parts := make([]*tdbcWorker, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
@@ -189,21 +199,25 @@ func RunBitTrueTDBC(cfg BitTrueConfig) (BitTrueResult, error) {
 		wg.Add(1)
 		go func(wk *tdbcWorker, count int) {
 			defer wg.Done()
-			for i := 0; i < count; i++ {
-				wk.runTrial()
-			}
+			_, _ = gate.run(count, func() error { wk.runTrial(); return nil })
 		}(wk, count)
 	}
 	wg.Wait()
 
-	res := BitTrueResult{Trials: cfg.Trials, Durations: durations}
+	res := BitTrueResult{Durations: durations}
 	successes := 0
 	for _, wk := range parts {
 		successes += wk.successes
 		res.RelayFailures += wk.relayFailures
 		res.TerminalFailures += wk.terminalFailures
 	}
-	res.SuccessProb = float64(successes) / float64(cfg.Trials)
+	res.Trials = successes + res.RelayFailures + res.TerminalFailures
+	if res.Trials > 0 {
+		res.SuccessProb = float64(successes) / float64(res.Trials)
+	}
+	if err := ctxErr(ctx); err != nil {
+		return res, fmt.Errorf("sim: %w", err)
+	}
 	return res, nil
 }
 

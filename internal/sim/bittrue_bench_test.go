@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -41,7 +42,7 @@ func BenchmarkBitTrueTDBC(b *testing.B) {
 	cfg := benchTDBCConfig(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunBitTrueTDBC(cfg); err != nil {
+		if _, err := RunBitTrueTDBC(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,7 +54,7 @@ func BenchmarkBitTrueTDBCParallel(b *testing.B) {
 	cfg := benchTDBCConfig(0)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunBitTrueTDBC(cfg); err != nil {
+		if _, err := RunBitTrueTDBC(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +66,7 @@ func BenchmarkBitTrueMABC(b *testing.B) {
 	cfg := benchMABCConfig(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunBitTrueMABC(cfg); err != nil {
+		if _, err := RunBitTrueMABC(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -76,7 +77,7 @@ func BenchmarkBitTrueMABCParallel(b *testing.B) {
 	cfg := benchMABCConfig(0)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := RunBitTrueMABC(cfg); err != nil {
+		if _, err := RunBitTrueMABC(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -181,11 +182,11 @@ func TestBitTrueMABCBlockZeroAllocs(t *testing.T) {
 func TestBitTrueTDBCShardingDeterministic(t *testing.T) {
 	cfg := benchTDBCConfig(4)
 	cfg.Trials = 40
-	r1, err := RunBitTrueTDBC(cfg)
+	r1, err := RunBitTrueTDBC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := RunBitTrueTDBC(cfg)
+	r2, err := RunBitTrueTDBC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,12 +216,12 @@ func TestBitTrueTDBCShardedMatchesSequential(t *testing.T) {
 		Seed:        77,
 		Workers:     1,
 	}
-	seq, err := RunBitTrueTDBC(cfg)
+	seq, err := RunBitTrueTDBC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Workers = 4
-	par, err := RunBitTrueTDBC(cfg)
+	par, err := RunBitTrueTDBC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,12 +254,12 @@ func TestBitTrueMABCShardedMatchesSequential(t *testing.T) {
 		Seed:        78,
 		Workers:     1,
 	}
-	seq, err := RunBitTrueMABC(cfg)
+	seq, err := RunBitTrueMABC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Workers = 4
-	par, err := RunBitTrueMABC(cfg)
+	par, err := RunBitTrueMABC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestBitTrueWorkerCountIndependence(t *testing.T) {
 		cfg := benchTDBCConfig(workers)
 		cfg.Trials = 37
 		cfg.BlockLength = 400
-		res, err := RunBitTrueTDBC(cfg)
+		res, err := RunBitTrueTDBC(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

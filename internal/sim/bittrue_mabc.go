@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -46,6 +47,10 @@ type MABCBitTrueConfig struct {
 	Workers int
 	// Confidence for the reported success interval (default 0.95).
 	Confidence float64
+	// Progress, when non-nil, is invoked with the cumulative completed trial
+	// count at stride granularity (see runGate). Invocations are serialized
+	// and the reported count is strictly increasing.
+	Progress func(done, total int)
 }
 
 // MABCBitTrueResult reports the outcome with a confidence interval.
@@ -59,6 +64,9 @@ type MABCBitTrueResult struct {
 	RelayFailures int
 	// TerminalFailures counts blocks lost at a terminal after relay success.
 	TerminalFailures int
+	// Trials is the number of trials actually completed — the configured
+	// count unless the run's context was cancelled mid-flight.
+	Trials int
 	// Durations echoes the phase split used.
 	Durations []float64
 }
@@ -86,8 +94,10 @@ func MABCComputeForwardBound(epsMAC, epsRA, epsRB float64) (rate float64, durati
 
 // RunBitTrueMABC executes the compute-and-forward MABC protocol bit by bit,
 // sharding trials across cfg.Workers goroutines with per-worker RNGs,
-// codes, and elimination scratch.
-func RunBitTrueMABC(cfg MABCBitTrueConfig) (MABCBitTrueResult, error) {
+// codes, and elimination scratch. Cancelling ctx stops every worker within
+// one block; the counts over the blocks completed so far are returned
+// alongside the (wrapped) context error.
+func RunBitTrueMABC(ctx context.Context, cfg MABCBitTrueConfig) (MABCBitTrueResult, error) {
 	for _, e := range []float64{cfg.EpsMAC, cfg.EpsRA, cfg.EpsRB} {
 		if e < 0 || e > 1 || math.IsNaN(e) {
 			return MABCBitTrueResult{}, fmt.Errorf("sim: erasure probability %g out of [0,1]", e)
@@ -128,6 +138,8 @@ func RunBitTrueMABC(cfg MABCBitTrueConfig) (MABCBitTrueResult, error) {
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
+	gate, stopWatch := startGate(ctx, cfg.Trials, cfg.Progress)
+	defer stopWatch()
 	parts := make([]*mabcWorker, workers)
 	var wg sync.WaitGroup
 	for wi := 0; wi < workers; wi++ {
@@ -137,9 +149,7 @@ func RunBitTrueMABC(cfg MABCBitTrueConfig) (MABCBitTrueResult, error) {
 		wg.Add(1)
 		go func(wk *mabcWorker, count int) {
 			defer wg.Done()
-			for i := 0; i < count; i++ {
-				wk.runTrial()
-			}
+			_, _ = gate.run(count, func() error { wk.runTrial(); return nil })
 		}(wk, count)
 	}
 	wg.Wait()
@@ -151,12 +161,18 @@ func RunBitTrueMABC(cfg MABCBitTrueConfig) (MABCBitTrueResult, error) {
 		res.RelayFailures += wk.relayFailures
 		res.TerminalFailures += wk.terminalFailures
 	}
-	res.SuccessProb = float64(successes) / float64(cfg.Trials)
-	ci, err := stats.WilsonInterval(successes, cfg.Trials, conf)
-	if err != nil {
-		return MABCBitTrueResult{}, err
+	res.Trials = successes + res.RelayFailures + res.TerminalFailures
+	if res.Trials > 0 {
+		res.SuccessProb = float64(successes) / float64(res.Trials)
+		ci, err := stats.WilsonInterval(successes, res.Trials, conf)
+		if err != nil {
+			return MABCBitTrueResult{}, err
+		}
+		res.SuccessCI = ci
 	}
-	res.SuccessCI = ci
+	if err := ctxErr(ctx); err != nil {
+		return res, fmt.Errorf("sim: %w", err)
+	}
 	return res, nil
 }
 

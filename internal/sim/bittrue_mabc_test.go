@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestRunBitTrueMABCWaterfall(t *testing.T) {
 	bound, durations := MABCComputeForwardBound(epsMAC, epsRA, epsRB)
 	run := func(scale float64) MABCBitTrueResult {
 		t.Helper()
-		res, err := RunBitTrueMABC(MABCBitTrueConfig{
+		res, err := RunBitTrueMABC(context.Background(), MABCBitTrueConfig{
 			EpsMAC: epsMAC, EpsRA: epsRA, EpsRB: epsRB,
 			Rate:        bound * scale,
 			Durations:   durations,
@@ -82,7 +83,7 @@ func TestRunBitTrueMABCWaterfall(t *testing.T) {
 }
 
 func TestRunBitTrueMABCDerivesDurations(t *testing.T) {
-	res, err := RunBitTrueMABC(MABCBitTrueConfig{
+	res, err := RunBitTrueMABC(context.Background(), MABCBitTrueConfig{
 		EpsMAC: 0.1, EpsRA: 0.1, EpsRB: 0.1,
 		Rate:        0.2, // well inside the 0.45 bound
 		BlockLength: 2000,
@@ -109,42 +110,42 @@ func TestRunBitTrueMABCValidation(t *testing.T) {
 	t.Run("bad eps", func(t *testing.T) {
 		cfg := good
 		cfg.EpsMAC = -0.5
-		if _, err := RunBitTrueMABC(cfg); err == nil {
+		if _, err := RunBitTrueMABC(context.Background(), cfg); err == nil {
 			t.Error("want error")
 		}
 	})
 	t.Run("no block", func(t *testing.T) {
 		cfg := good
 		cfg.BlockLength = 0
-		if _, err := RunBitTrueMABC(cfg); err == nil {
+		if _, err := RunBitTrueMABC(context.Background(), cfg); err == nil {
 			t.Error("want error")
 		}
 	})
 	t.Run("no trials", func(t *testing.T) {
 		cfg := good
 		cfg.Trials = 0
-		if _, err := RunBitTrueMABC(cfg); !errors.Is(err, ErrNoTrials) {
+		if _, err := RunBitTrueMABC(context.Background(), cfg); !errors.Is(err, ErrNoTrials) {
 			t.Errorf("err = %v", err)
 		}
 	})
 	t.Run("zero rate", func(t *testing.T) {
 		cfg := good
 		cfg.Rate = 0
-		if _, err := RunBitTrueMABC(cfg); err == nil {
+		if _, err := RunBitTrueMABC(context.Background(), cfg); err == nil {
 			t.Error("want error")
 		}
 	})
 	t.Run("bad durations", func(t *testing.T) {
 		cfg := good
 		cfg.Durations = []float64{1}
-		if _, err := RunBitTrueMABC(cfg); err == nil {
+		if _, err := RunBitTrueMABC(context.Background(), cfg); err == nil {
 			t.Error("want error")
 		}
 	})
 	t.Run("rate too small for block", func(t *testing.T) {
 		cfg := good
 		cfg.Rate = 1e-9
-		if _, err := RunBitTrueMABC(cfg); err == nil {
+		if _, err := RunBitTrueMABC(context.Background(), cfg); err == nil {
 			t.Error("want error for zero-length message")
 		}
 	})
@@ -156,7 +157,7 @@ func TestBitTrueMABCSharedGeneratorLinearity(t *testing.T) {
 	// is unsound. Exercised end-to-end with a deterministic seed and a rate
 	// just below the bound.
 	bound, durations := MABCComputeForwardBound(0.3, 0.2, 0.25)
-	res, err := RunBitTrueMABC(MABCBitTrueConfig{
+	res, err := RunBitTrueMABC(context.Background(), MABCBitTrueConfig{
 		EpsMAC: 0.3, EpsRA: 0.2, EpsRB: 0.25,
 		Rate:        bound * 0.8,
 		Durations:   durations,

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"bicoop/internal/channel"
+	"bicoop/internal/protocols"
+	"bicoop/internal/xmath"
+)
+
+// waitGoroutines polls until the goroutine count returns to the baseline or
+// the deadline passes, returning the final count.
+func waitGoroutines(baseline int, d time.Duration) int {
+	deadline := time.Now().Add(d)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	return runtime.NumGoroutine()
+}
+
+func TestRunOutageCancelled(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := RunOutage(ctx, OutageConfig{
+		Mean:      channel.GainsFromDB(-7, 0, 5),
+		P:         xmath.FromDB(10),
+		Protocols: []protocols.Protocol{protocols.MABC, protocols.TDBC, protocols.HBC},
+		Target:    protocols.RatePair{Ra: 0.5, Rb: 0.5},
+		Trials:    50_000_000, // far more than 20ms of work
+		Seed:      1,
+		Workers:   2,
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	st := res.ByProtocol[protocols.MABC]
+	if st.Trials <= 0 || st.Trials >= 50_000_000 {
+		t.Errorf("partial Trials = %d, want strictly between 0 and the request", st.Trials)
+	}
+	if st.MeanOptSumRate <= 0 {
+		t.Errorf("partial MeanOptSumRate = %g, want > 0", st.MeanOptSumRate)
+	}
+	if g := waitGoroutines(before, 2*time.Second); g > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+func TestRunOutagePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunOutage(ctx, OutageConfig{
+		Mean:      channel.GainsFromDB(-7, 0, 5),
+		P:         xmath.FromDB(10),
+		Protocols: []protocols.Protocol{protocols.MABC},
+		Trials:    1000,
+		Seed:      1,
+		Workers:   1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The cancellation watcher runs in its own goroutine, so a few trials
+	// may race ahead of the flag; the run must still report the canceled
+	// error and a consistent partial count.
+	if st := res.ByProtocol[protocols.MABC]; st.Trials < 0 || st.Trials > 1000 {
+		t.Errorf("pre-cancelled run reported %d trials", st.Trials)
+	}
+}
+
+func TestRunBitTrueTDBCCancelled(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := RunBitTrueTDBC(ctx, BitTrueConfig{
+		Net:         ErasureNetwork{EpsAR: 0.2, EpsBR: 0.1, EpsAB: 0.6},
+		Rates:       protocols.RatePair{Ra: 0.2, Rb: 0.2},
+		BlockLength: 1000,
+		Trials:      10_000_000,
+		Seed:        1,
+		Workers:     2,
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	if res.Trials <= 0 || res.Trials >= 10_000_000 {
+		t.Errorf("partial Trials = %d, want strictly between 0 and the request", res.Trials)
+	}
+	if res.SuccessProb < 0 || res.SuccessProb > 1 {
+		t.Errorf("partial SuccessProb = %g out of [0,1]", res.SuccessProb)
+	}
+	if g := waitGoroutines(before, 2*time.Second); g > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+func TestRunBitTrueMABCCancelled(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	res, err := RunBitTrueMABC(ctx, MABCBitTrueConfig{
+		EpsMAC: 0.2, EpsRA: 0.15, EpsRB: 0.1,
+		Rate:        0.3,
+		BlockLength: 1000,
+		Trials:      10_000_000,
+		Seed:        1,
+		Workers:     2,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Trials <= 0 || res.Trials >= 10_000_000 {
+		t.Errorf("partial Trials = %d, want strictly between 0 and the request", res.Trials)
+	}
+	if g := waitGoroutines(before, 2*time.Second); g > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+// TestRunOutageNilContextSafe pins that a nil context degrades to an
+// unbounded run rather than panicking (internal callers always pass one,
+// but the gate documents the tolerance).
+func TestRunOutageNilContextSafe(t *testing.T) {
+	//lint:ignore SA1012 deliberate nil-context robustness check
+	res, err := RunOutage(nil, OutageConfig{ //nolint:staticcheck
+		Mean:      channel.GainsFromDB(-7, 0, 5),
+		P:         xmath.FromDB(10),
+		Protocols: []protocols.Protocol{protocols.MABC},
+		Trials:    50,
+		Seed:      1,
+		Workers:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := res.ByProtocol[protocols.MABC]; st.Trials != 50 {
+		t.Errorf("Trials = %d, want 50", st.Trials)
+	}
+}
+
+// TestProgressReporting checks the batched progress contract: cumulative,
+// monotonic per observation under the serialization the caller provides,
+// and exact at completion.
+func TestProgressReporting(t *testing.T) {
+	var got []int
+	res, err := RunBitTrueTDBC(context.Background(), BitTrueConfig{
+		Net:         ErasureNetwork{EpsAR: 0.2, EpsBR: 0.1, EpsAB: 0.6},
+		Rates:       protocols.RatePair{Ra: 0.2, Rb: 0.2},
+		BlockLength: 200,
+		Trials:      100,
+		Seed:        1,
+		Workers:     1, // single worker: callbacks arrive serialized
+		Progress: func(done, total int) {
+			if total != 100 {
+				t.Errorf("total = %d, want 100", total)
+			}
+			got = append(got, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 100 {
+		t.Fatalf("Trials = %d, want 100", res.Trials)
+	}
+	if len(got) == 0 || got[len(got)-1] != 100 {
+		t.Fatalf("progress observations %v, want final 100", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("progress not increasing: %v", got)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// progressStride is the trial granularity at which workers publish their
+// local completion counts to the shared run counter (and, through it, to the
+// Progress callback). Batching keeps the per-trial cost at one atomic flag
+// load; the callback never lags the true count by more than one stride per
+// worker.
+const progressStride = 32
+
+// runGate coordinates a sharded Monte Carlo run across its worker pool: it
+// turns context cancellation into a single atomic flag the workers poll once
+// per trial (an uncontended load, so cancellation support adds no measurable
+// per-trial overhead and no allocation), and it aggregates per-worker
+// completion counts for the optional progress callback.
+//
+// The flag is set by a context.AfterFunc rather than polled via ctx.Err(),
+// so the hot loop never touches the context's mutex. A cancelled run stops
+// within one trial per worker — far finer than the shard (per-worker trial
+// share) granularity.
+type runGate struct {
+	halted atomic.Bool
+	total  int
+	// mu serializes the cumulative count update and the callback invocation
+	// as one critical section, so observers see a strictly increasing done
+	// count. It is only touched when a progress callback is configured, and
+	// then only once per stride.
+	mu       sync.Mutex
+	done     int
+	progress func(done, total int)
+}
+
+// startGate builds the gate for a run of total trials and attaches the
+// cancellation watcher. The returned stop func detaches the watcher and must
+// be called (defer) once the pool has drained. A nil or never-cancelled
+// context degenerates to a plain counter.
+func startGate(ctx context.Context, total int, progress func(done, total int)) (*runGate, func() bool) {
+	g := &runGate{total: total, progress: progress}
+	stop := func() bool { return false }
+	if ctx != nil && ctx.Done() != nil {
+		stop = context.AfterFunc(ctx, func() { g.halted.Store(true) })
+	}
+	return g, stop
+}
+
+// run executes up to count trials on the calling goroutine, stopping early
+// once the gate halts or trial returns an error. It returns the number of
+// trials completed. Progress (when configured) is invoked at stride
+// granularity with the run-wide cumulative count; invocations are
+// serialized and the count is strictly increasing across them.
+func (g *runGate) run(count int, trial func() error) (int, error) {
+	completed, pending := 0, 0
+	for i := 0; i < count; i++ {
+		if g.halted.Load() {
+			break
+		}
+		if err := trial(); err != nil {
+			g.flush(&pending)
+			return completed, err
+		}
+		completed++
+		pending++
+		if pending == progressStride {
+			g.flush(&pending)
+		}
+	}
+	g.flush(&pending)
+	return completed, nil
+}
+
+// flush publishes a worker's locally accumulated trial count.
+func (g *runGate) flush(pending *int) {
+	if *pending == 0 || g.progress == nil {
+		*pending = 0
+		return
+	}
+	g.mu.Lock()
+	g.done += *pending
+	*pending = 0
+	g.progress(g.done, g.total)
+	g.mu.Unlock()
+}
+
+// ctxErr returns a non-nil error when the context has ended — the shared
+// post-drain check of every sharded runner. The result always matches
+// errors.Is(err, ctx.Err()) (so context.Canceled / DeadlineExceeded checks
+// work at any layer) and additionally wraps a distinct cancellation cause
+// (context.WithCancelCause) when one was supplied.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, err) {
+		return fmt.Errorf("%w: %w", err, cause)
+	}
+	return err
+}

@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -53,6 +54,10 @@ type OutageConfig struct {
 	Seed int64
 	// Workers bounds the worker pool; non-positive means GOMAXPROCS.
 	Workers int
+	// Progress, when non-nil, is invoked with the cumulative completed trial
+	// count at stride granularity (see runGate). Invocations are serialized
+	// and the reported count is strictly increasing.
+	Progress func(done, total int)
 }
 
 // OutageStats aggregates per-protocol results of a run.
@@ -144,8 +149,11 @@ func (w *outageWorker) runTrial() error {
 	return nil
 }
 
-// RunOutage executes the fading Monte Carlo.
-func RunOutage(cfg OutageConfig) (OutageResult, error) {
+// RunOutage executes the fading Monte Carlo. Cancelling ctx stops every
+// worker within one trial; the merged statistics over the trials completed
+// so far are returned alongside the (wrapped) context error, so callers can
+// report partial results.
+func RunOutage(ctx context.Context, cfg OutageConfig) (OutageResult, error) {
 	if cfg.Trials <= 0 {
 		return OutageResult{}, ErrNoTrials
 	}
@@ -164,6 +172,8 @@ func RunOutage(cfg OutageConfig) (OutageResult, error) {
 	}
 	hasTarget := cfg.hasTarget()
 
+	gate, stopWatch := startGate(ctx, cfg.Trials, cfg.Progress)
+	defer stopWatch()
 	parts := make([]*outageWorker, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -179,12 +189,7 @@ func RunOutage(cfg OutageConfig) (OutageResult, error) {
 				return
 			}
 			parts[w] = wk
-			for i := 0; i < count; i++ {
-				if err := wk.runTrial(); err != nil {
-					errs[w] = err
-					return
-				}
-			}
+			_, errs[w] = gate.run(count, wk.runTrial)
 		}(w, hi-lo)
 	}
 	wg.Wait()
@@ -206,14 +211,17 @@ func RunOutage(cfg OutageConfig) (OutageResult, error) {
 			sum += pt.sum[pi]
 			outs += pt.outages[pi]
 		}
-		st := OutageStats{
-			MeanOptSumRate: sum / float64(total),
-			Trials:         total,
-		}
-		if hasTarget {
-			st.OutageProb = float64(outs) / float64(total)
+		st := OutageStats{Trials: total}
+		if total > 0 {
+			st.MeanOptSumRate = sum / float64(total)
+			if hasTarget {
+				st.OutageProb = float64(outs) / float64(total)
+			}
 		}
 		out.ByProtocol[proto] = st
+	}
+	if err := ctxErr(ctx); err != nil {
+		return out, fmt.Errorf("sim: %w", err)
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"bicoop/internal/protocols"
@@ -47,7 +48,7 @@ func TestOutageTrialZeroAllocs(t *testing.T) {
 func TestOutageWorkerMatchesRunOutage(t *testing.T) {
 	cfg := benchOutageConfig()
 	cfg.Trials = 50
-	res, err := RunOutage(cfg)
+	res, err := RunOutage(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

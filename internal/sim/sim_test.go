@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -25,21 +26,21 @@ func TestRunOutageValidation(t *testing.T) {
 	t.Run("no trials", func(t *testing.T) {
 		cfg := good
 		cfg.Trials = 0
-		if _, err := RunOutage(cfg); !errors.Is(err, ErrNoTrials) {
+		if _, err := RunOutage(context.Background(), cfg); !errors.Is(err, ErrNoTrials) {
 			t.Errorf("err = %v, want ErrNoTrials", err)
 		}
 	})
 	t.Run("no protocols", func(t *testing.T) {
 		cfg := good
 		cfg.Protocols = nil
-		if _, err := RunOutage(cfg); !errors.Is(err, ErrNoTargets) {
+		if _, err := RunOutage(context.Background(), cfg); !errors.Is(err, ErrNoTargets) {
 			t.Errorf("err = %v, want ErrNoTargets", err)
 		}
 	})
 	t.Run("bad scenario", func(t *testing.T) {
 		cfg := good
 		cfg.P = 0
-		if _, err := RunOutage(cfg); err == nil {
+		if _, err := RunOutage(context.Background(), cfg); err == nil {
 			t.Error("want error for zero power")
 		}
 	})
@@ -55,11 +56,11 @@ func TestRunOutageDeterministic(t *testing.T) {
 		Seed:      99,
 		Workers:   4,
 	}
-	r1, err := RunOutage(cfg)
+	r1, err := RunOutage(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := RunOutage(cfg)
+	r2, err := RunOutage(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestRunOutageStatisticalSanity(t *testing.T) {
 		Trials:    2000,
 		Seed:      7,
 	}
-	res, err := RunOutage(cfg)
+	res, err := RunOutage(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestOutageMonotoneInTarget(t *testing.T) {
 	for _, scale := range []float64{0.2, 0.5, 1.0, 1.6} {
 		cfg := base
 		cfg.Target = protocols.RatePair{Ra: 0.4 * scale, Rb: 0.4 * scale}
-		res, err := RunOutage(cfg)
+		res, err := RunOutage(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func TestBitTrueTDBCWaterfall(t *testing.T) {
 
 	run := func(scale float64) BitTrueResult {
 		t.Helper()
-		res, err := RunBitTrueTDBC(BitTrueConfig{
+		res, err := RunBitTrueTDBC(context.Background(), BitTrueConfig{
 			Net:         net,
 			Rates:       protocols.RatePair{Ra: opt.Rates.Ra * scale, Rb: opt.Rates.Rb * scale},
 			Durations:   opt.Durations,
@@ -210,7 +211,7 @@ func TestBitTrueTDBCWaterfall(t *testing.T) {
 
 func TestBitTrueTDBCDerivesDurations(t *testing.T) {
 	net := ErasureNetwork{EpsAR: 0.1, EpsBR: 0.1, EpsAB: 0.5}
-	res, err := RunBitTrueTDBC(BitTrueConfig{
+	res, err := RunBitTrueTDBC(context.Background(), BitTrueConfig{
 		Net:         net,
 		Rates:       protocols.RatePair{Ra: 0.15, Rb: 0.15},
 		BlockLength: 2000,
@@ -235,7 +236,7 @@ func TestBitTrueTDBCDerivesDurations(t *testing.T) {
 
 func TestBitTrueTDBCInfeasibleRates(t *testing.T) {
 	net := ErasureNetwork{EpsAR: 0.5, EpsBR: 0.5, EpsAB: 0.9}
-	_, err := RunBitTrueTDBC(BitTrueConfig{
+	_, err := RunBitTrueTDBC(context.Background(), BitTrueConfig{
 		Net:         net,
 		Rates:       protocols.RatePair{Ra: 2, Rb: 2},
 		BlockLength: 500,
@@ -256,35 +257,35 @@ func TestBitTrueTDBCConfigValidation(t *testing.T) {
 	t.Run("bad net", func(t *testing.T) {
 		cfg := good
 		cfg.Net.EpsAR = 2
-		if _, err := RunBitTrueTDBC(cfg); err == nil {
+		if _, err := RunBitTrueTDBC(context.Background(), cfg); err == nil {
 			t.Error("want error")
 		}
 	})
 	t.Run("no block", func(t *testing.T) {
 		cfg := good
 		cfg.BlockLength = 0
-		if _, err := RunBitTrueTDBC(cfg); err == nil {
+		if _, err := RunBitTrueTDBC(context.Background(), cfg); err == nil {
 			t.Error("want error")
 		}
 	})
 	t.Run("no trials", func(t *testing.T) {
 		cfg := good
 		cfg.Trials = 0
-		if _, err := RunBitTrueTDBC(cfg); !errors.Is(err, ErrNoTrials) {
+		if _, err := RunBitTrueTDBC(context.Background(), cfg); !errors.Is(err, ErrNoTrials) {
 			t.Errorf("err = %v, want ErrNoTrials", err)
 		}
 	})
 	t.Run("negative rates", func(t *testing.T) {
 		cfg := good
 		cfg.Rates = protocols.RatePair{Ra: -0.1, Rb: 0.1}
-		if _, err := RunBitTrueTDBC(cfg); err == nil {
+		if _, err := RunBitTrueTDBC(context.Background(), cfg); err == nil {
 			t.Error("want error")
 		}
 	})
 	t.Run("wrong duration count", func(t *testing.T) {
 		cfg := good
 		cfg.Durations = []float64{0.5, 0.5}
-		if _, err := RunBitTrueTDBC(cfg); err == nil {
+		if _, err := RunBitTrueTDBC(context.Background(), cfg); err == nil {
 			t.Error("want error")
 		}
 	})
@@ -292,7 +293,7 @@ func TestBitTrueTDBCConfigValidation(t *testing.T) {
 		cfg := good
 		cfg.Rates = protocols.RatePair{}
 		cfg.Durations = []float64{0.3, 0.3, 0.4}
-		if _, err := RunBitTrueTDBC(cfg); err == nil {
+		if _, err := RunBitTrueTDBC(context.Background(), cfg); err == nil {
 			t.Error("want error for zero-length messages")
 		}
 	})
@@ -301,7 +302,7 @@ func TestBitTrueTDBCConfigValidation(t *testing.T) {
 func TestBitTrueTDBCAsymmetricRates(t *testing.T) {
 	// ka != kb exercises the zero-padding path of the XOR group.
 	net := ErasureNetwork{EpsAR: 0.1, EpsBR: 0.05, EpsAB: 0.5}
-	res, err := RunBitTrueTDBC(BitTrueConfig{
+	res, err := RunBitTrueTDBC(context.Background(), BitTrueConfig{
 		Net:         net,
 		Rates:       protocols.RatePair{Ra: 0.2, Rb: 0.05},
 		BlockLength: 2000,

@@ -8,9 +8,11 @@
 # evaluator solve per protocol, the Monte Carlo per-block kernel, and the
 # figure-level sweeps (Fig 3 relay placement, MABC/TDBC crossover, fading
 # Monte Carlo) — plus the bit-true path at two levels: full TDBC/MABC runs
-# (sequential and sharded) and the per-block kernels. The bit-true full-run
-# benchmarks already iterate 64 blocks internally, so they get a smaller
-# default -benchtime than the microbenchmarks.
+# (sequential and sharded) and the per-block kernels, and the engine facade
+# pair (Engine.SumRateBatch vs the same 1k-scenario grid through one-shot
+# calls). The bit-true full-run benchmarks already iterate 64 blocks
+# internally, so they get a smaller default -benchtime than the
+# microbenchmarks.
 set -eu
 
 out="${1:-BENCH.json}"
@@ -18,7 +20,7 @@ benchtime="${2:-200x}"
 bittime="${3:-10x}"
 cd "$(dirname "$0")/.."
 
-pattern='BenchmarkSimplexSolve$|BenchmarkEvaluatorSolve|BenchmarkEvaluatorFeasible$|BenchmarkOutageTrial$|BenchmarkSumRateLP$|BenchmarkFeasibility$|BenchmarkOutageBlock$|BenchmarkFig3$|BenchmarkSNRCrossover$|BenchmarkFadingOutage$|BenchmarkBitTrueTDBCBlock$|BenchmarkBitTrueMABCBlock$'
+pattern='BenchmarkSimplexSolve$|BenchmarkEvaluatorSolve|BenchmarkEvaluatorFeasible$|BenchmarkOutageTrial$|BenchmarkSumRateLP$|BenchmarkFeasibility$|BenchmarkOutageBlock$|BenchmarkFig3$|BenchmarkSNRCrossover$|BenchmarkFadingOutage$|BenchmarkBitTrueTDBCBlock$|BenchmarkBitTrueMABCBlock$|BenchmarkEngineSumRateBatch$|BenchmarkOneShotSumRateBatch$'
 bitpattern='BenchmarkBitTrueTDBC$|BenchmarkBitTrueTDBCParallel$|BenchmarkBitTrueMABC$|BenchmarkBitTrueMABCParallel$'
 
 {

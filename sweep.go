@@ -1,0 +1,230 @@
+package bicoop
+
+// sweep.go — the grid subsystem. The paper's headline artifacts (Fig 3
+// placement sweeps, power crossovers, erasure waterfall placement) are all
+// grids of scenarios; SweepSpec declares the axes once and Engine.Sweep
+// streams the evaluated points through a callback so callers can render or
+// aggregate incrementally, holding one evaluator across the entire grid.
+
+import (
+	"context"
+	"fmt"
+
+	"bicoop/internal/protocols"
+	"bicoop/internal/sim"
+)
+
+// SweepSpec declares a grid of evaluation points. The Gaussian grid is the
+// cross product PowersDB × Placements × Protocols; Erasures is an
+// independent axis of erasure networks evaluated on the TDBC inner bound
+// (the bound the bit-true simulator executes). Zero-value fields default:
+// Protocols to AllProtocols(), Bound to Inner, PowersDB to {Base.PowerDB},
+// and an empty Placements axis evaluates the Base gains directly. A spec
+// that sets Erasures and no Gaussian axis (no PowersDB, no Placements) is
+// an erasures-only sweep — the Base scenario is not evaluated; set
+// PowersDB explicitly to combine both.
+type SweepSpec struct {
+	// Protocols to evaluate at every Gaussian grid point.
+	Protocols []Protocol
+	// Bound selects inner or outer; zero means Inner.
+	Bound Bound
+	// Base supplies the link gains when Placements is empty and the power
+	// when PowersDB is empty.
+	Base Scenario
+	// PowersDB is the transmit-power axis (dB).
+	PowersDB []float64
+	// Placements is the relay-geometry axis; each entry derives gains from
+	// a relay position and path-loss exponent.
+	Placements []RelayPlacement
+	// Erasures is the erasure-network axis: each entry contributes one
+	// TDBC inner-bound point (Theorem 3 with every mutual-information term
+	// equal to one minus the link's erasure probability).
+	Erasures []ErasureLinks
+}
+
+// gaussian reports whether the spec evaluates any Gaussian grid points.
+func (spec SweepSpec) gaussian() bool {
+	return len(spec.PowersDB) > 0 || len(spec.Placements) > 0 || len(spec.Erasures) == 0
+}
+
+// Size returns the number of points the sweep will yield.
+func (spec SweepSpec) Size() int {
+	n := len(spec.Erasures)
+	if !spec.gaussian() {
+		return n
+	}
+	protos := len(spec.Protocols)
+	if protos == 0 {
+		protos = len(AllProtocols())
+	}
+	powers := len(spec.PowersDB)
+	if powers == 0 {
+		powers = 1
+	}
+	places := len(spec.Placements)
+	if places == 0 {
+		places = 1
+	}
+	return powers*places*protos + n
+}
+
+// SweepPoint is one evaluated grid point, carrying its grid coordinates and
+// the resolved scenario alongside the result.
+type SweepPoint struct {
+	// Index is the point's position in the sweep's enumeration order.
+	Index int
+	// PowerDB is the transmit power of a Gaussian point.
+	PowerDB float64
+	// Placement is the relay geometry that produced Scenario, nil for
+	// base-gains and erasure points.
+	Placement *RelayPlacement
+	// Erasure is non-nil for erasure-axis points.
+	Erasure *ErasureLinks
+	// Scenario is the resolved Gaussian scenario (zero for erasure points).
+	Scenario Scenario
+	// Protocol and Bound identify the evaluated bound. Erasure points are
+	// always TDBC Inner.
+	Protocol Protocol
+	Bound    Bound
+	// Result is the LP-optimal sum rate at the point.
+	Result SumRateResult
+}
+
+// Sweep evaluates the grid and streams each point to yield in enumeration
+// order: for each power, for each placement (or the base gains), for each
+// protocol — then each erasure network. A non-nil error from yield stops
+// the sweep and is returned. Cancelling ctx stops within one point. One
+// pooled evaluator is held across the whole grid, so no per-point spec
+// compilation or workspace allocation occurs.
+func (e *Engine) Sweep(ctx context.Context, spec SweepSpec, yield func(SweepPoint) error) error {
+	if yield == nil {
+		return fmt.Errorf("%w: nil yield callback", ErrInvalidSweepSpec)
+	}
+	protos := spec.Protocols
+	if len(protos) == 0 {
+		protos = AllProtocols()
+	}
+	bound := spec.Bound
+	if bound == 0 {
+		bound = Inner
+	}
+	ib, err := bound.internal()
+	if err != nil {
+		return err
+	}
+	iprotos := make([]protocols.Protocol, len(protos))
+	for i, p := range protos {
+		if iprotos[i], err = p.internal(); err != nil {
+			return err
+		}
+	}
+	powers := spec.PowersDB
+	if len(powers) == 0 {
+		powers = []float64{spec.Base.PowerDB}
+	}
+	if !spec.gaussian() {
+		powers = nil
+	}
+
+	ev := e.getEval()
+	defer e.putEval(ev)
+	idx := 0
+	emit := func(pt SweepPoint, ip protocols.Protocol, ib protocols.Bound, li protocols.LinkInfos) error {
+		if err := ctxDone(ctx); err != nil {
+			return fmt.Errorf("bicoop: %w", err)
+		}
+		opt, err := ev.WeightedRateLinks(ip, ib, li, 1, 1)
+		if err != nil {
+			return fmt.Errorf("bicoop: sweep point %d: %w", idx, err)
+		}
+		pt.Index = idx
+		pt.Result = SumRateResult{
+			Sum:       opt.Objective,
+			Point:     RatePoint{Ra: opt.Rates.Ra, Rb: opt.Rates.Rb},
+			Durations: append([]float64(nil), opt.Durations...),
+		}
+		idx++
+		return yield(pt)
+	}
+
+	for _, pdb := range powers {
+		scenarios, placements, err := spec.resolveRow(pdb)
+		if err != nil {
+			return err
+		}
+		for si, s := range scenarios {
+			li, err := protocols.LinkInfosFromScenario(s.internal())
+			if err != nil {
+				return fmt.Errorf("bicoop: %w", err)
+			}
+			for pi, proto := range protos {
+				pt := SweepPoint{
+					PowerDB:   pdb,
+					Placement: placements[si],
+					Scenario:  s,
+					Protocol:  proto,
+					Bound:     bound,
+				}
+				if err := emit(pt, iprotos[pi], ib, li); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for i := range spec.Erasures {
+		links := spec.Erasures[i]
+		net := sim.ErasureNetwork{EpsAR: links.EpsAR, EpsBR: links.EpsBR, EpsAB: links.EpsAB}
+		if err := net.Validate(); err != nil {
+			return fmt.Errorf("bicoop: %w", err)
+		}
+		pt := SweepPoint{
+			Erasure:  &links,
+			Protocol: TDBC,
+			Bound:    Inner,
+		}
+		if err := emit(pt, protocols.TDBC, protocols.BoundInner, net.LinkInfos()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveRow materializes one power row of the Gaussian grid: the scenarios
+// to evaluate and, aligned with them, the placement that produced each (nil
+// for the base-gains point).
+func (spec SweepSpec) resolveRow(pdb float64) ([]Scenario, []*RelayPlacement, error) {
+	if len(spec.Placements) == 0 {
+		s := spec.Base
+		s.PowerDB = pdb
+		if err := s.Validate(); err != nil {
+			return nil, nil, err
+		}
+		return []Scenario{s}, []*RelayPlacement{nil}, nil
+	}
+	scenarios := make([]Scenario, 0, len(spec.Placements))
+	placements := make([]*RelayPlacement, 0, len(spec.Placements))
+	for i := range spec.Placements {
+		rp := spec.Placements[i]
+		s, err := rp.Scenario(pdb)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: placement %d: %v", ErrInvalidSweepSpec, i, err)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, nil, err
+		}
+		scenarios = append(scenarios, s)
+		placements = append(placements, &rp)
+	}
+	return scenarios, placements, nil
+}
+
+// SweepAll runs Sweep and collects every point — convenient when the grid
+// is small enough to hold in memory.
+func (e *Engine) SweepAll(ctx context.Context, spec SweepSpec) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, spec.Size())
+	err := e.Sweep(ctx, spec, func(pt SweepPoint) error {
+		out = append(out, pt)
+		return nil
+	})
+	return out, err
+}
