@@ -1,8 +1,11 @@
 # Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
 
-.PHONY: all build vet test bench bench-smoke bench-baseline
+.PHONY: all build vet test bench bench-smoke bench-baseline bench-compare fmt-check
 
 all: build vet test
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
 
 build:
 	go build ./...
@@ -26,3 +29,10 @@ bench-smoke:
 # first buildable revision (or after intentionally rebaselining).
 bench-baseline:
 	./scripts/bench.sh BENCH_baseline.json
+
+# bench-compare is the local perf gate: a short ledger run compared against
+# the committed BENCH_after.json (same command CI's bench-gate job runs,
+# with the stricter same-machine threshold).
+bench-compare:
+	./scripts/bench.sh BENCH_ci.json 50x 3x
+	go run ./cmd/benchjson compare BENCH_after.json BENCH_ci.json -threshold 1.25

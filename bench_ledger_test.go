@@ -1,0 +1,174 @@
+package bicoop_test
+
+// bench_ledger_test.go — guards the performance ledger against silent rot.
+// scripts/bench.sh selects the ledgered benchmarks with hand-maintained
+// regex lists; before this test, renaming a benchmark (or adding a new one)
+// could silently drop it from BENCH_*.json and the CI bench gate. Now:
+//
+//   - every pattern alternative must match a benchmark that still exists
+//     (catches renames and typos);
+//   - every benchmark function in the ledgered packages must either match a
+//     pattern or appear in the explicit exemption list below (catches new
+//     benchmarks being forgotten — exempting is a visible diff);
+//   - every name in the committed ledgers must correspond to an existing
+//     benchmark function (catches stale ledgers).
+//
+// The disappeared-benchmark direction at run time is covered by `benchjson
+// compare`, which fails when a ledger entry goes missing.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// ledgerDirs are the packages scripts/bench.sh benchmarks.
+var ledgerDirs = []string{".", "internal/protocols", "internal/sim", "internal/simplex"}
+
+// nonLedgerBenchmarks are deliberately excluded from the performance ledger:
+// whole-experiment end-to-end runs and substrate micro-benchmarks that
+// duplicate a ledgered kernel. Adding a benchmark to the ledgered packages
+// requires either adding it to scripts/bench.sh or listing it here.
+var nonLedgerBenchmarks = map[string]string{
+	"BenchmarkFig4LowSNR":             "experiment end-to-end; region kernel ledgered via BenchmarkFig3",
+	"BenchmarkFig4HighSNR":            "experiment end-to-end",
+	"BenchmarkClaimHBCOutside":        "experiment end-to-end",
+	"BenchmarkClaimHBCStrict":         "covered by BenchmarkSumRateLP",
+	"BenchmarkMABCTightness":          "experiment end-to-end",
+	"BenchmarkDeltaAblation":          "experiment end-to-end",
+	"BenchmarkPathLossAblation":       "experiment end-to-end",
+	"BenchmarkBitsimTDBC":             "experiment end-to-end; kernels ledgered as BenchmarkBitTrue*",
+	"BenchmarkBitsimMABC":             "experiment end-to-end",
+	"BenchmarkDMCBounds":              "experiment end-to-end",
+	"BenchmarkBlahutArimoto":          "experiment end-to-end",
+	"BenchmarkBaselines":              "experiment end-to-end",
+	"BenchmarkBER":                    "experiment end-to-end",
+	"BenchmarkAllExperimentsRendered": "full registry render; far too slow for the ledger benchtime",
+	"BenchmarkRegionBuild":            "covered by BenchmarkEvaluatorSolve + region tests",
+	"BenchmarkBlahutIteration":        "substrate micro-benchmark, off the paper's hot path",
+	"BenchmarkGF2Solve":               "covered by the ledgered bit-true block kernels",
+	"BenchmarkFadingDraw":             "covered by BenchmarkOutageTrial",
+	"BenchmarkBitTrueBlock":           "superseded by BenchmarkBitTrueTDBCBlock",
+}
+
+var benchFuncRE = regexp.MustCompile(`(?m)^func (Benchmark[A-Za-z0-9_]+)\(b \*testing\.B\)`)
+
+// sourceBenchmarks scans the ledgered packages for benchmark functions.
+func sourceBenchmarks(t *testing.T) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	for _, dir := range ledgerDirs {
+		files, err := filepath.Glob(filepath.Join(dir, "*_test.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range benchFuncRE.FindAllStringSubmatch(string(src), -1) {
+				out[m[1]] = true
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("found no benchmark functions — scan broken?")
+	}
+	return out
+}
+
+// benchPatterns extracts the regex alternatives from scripts/bench.sh.
+func benchPatterns(t *testing.T) []string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("scripts", "bench.sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^(?:bit)?pattern='([^']+)'`)
+	ms := re.FindAllStringSubmatch(string(src), -1)
+	if len(ms) != 2 {
+		t.Fatalf("expected pattern= and bitpattern= in bench.sh, found %d", len(ms))
+	}
+	var alts []string
+	for _, m := range ms {
+		alts = append(alts, strings.Split(m[1], "|")...)
+	}
+	return alts
+}
+
+func TestBenchLedgerCoverage(t *testing.T) {
+	src := sourceBenchmarks(t)
+	alts := benchPatterns(t)
+
+	// Every pattern alternative matches at least one existing benchmark.
+	matched := map[string]bool{}
+	for _, alt := range alts {
+		re, err := regexp.Compile(alt)
+		if err != nil {
+			t.Fatalf("bench.sh alternative %q does not compile: %v", alt, err)
+		}
+		hit := false
+		for name := range src {
+			if re.MatchString(name) {
+				matched[name] = true
+				hit = true
+			}
+		}
+		if !hit {
+			t.Errorf("bench.sh pattern %q matches no existing benchmark (renamed or removed?)", alt)
+		}
+	}
+
+	// Every source benchmark is either ledgered or visibly exempted.
+	for name := range src {
+		if !matched[name] && nonLedgerBenchmarks[name] == "" {
+			t.Errorf("benchmark %s is neither matched by scripts/bench.sh nor exempted in nonLedgerBenchmarks — add it to the ledger or exempt it explicitly", name)
+		}
+	}
+	// And no stale exemptions for benchmarks that no longer exist or are
+	// now ledgered.
+	for name := range nonLedgerBenchmarks {
+		if !src[name] {
+			t.Errorf("nonLedgerBenchmarks exempts %s, which no longer exists", name)
+		}
+		if matched[name] {
+			t.Errorf("nonLedgerBenchmarks exempts %s, but bench.sh now ledgers it — drop the exemption", name)
+		}
+	}
+}
+
+// TestLedgerNamesExist pins every committed ledger entry to a live
+// benchmark function.
+func TestLedgerNamesExist(t *testing.T) {
+	src := sourceBenchmarks(t)
+	for _, path := range []string{"BENCH_baseline.json", "BENCH_after.json"} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (the ledger must stay committed)", path, err)
+		}
+		var ledger struct {
+			Benchmarks []struct {
+				Name string `json:"name"`
+			} `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(data, &ledger); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(ledger.Benchmarks) == 0 {
+			t.Fatalf("%s: empty ledger", path)
+		}
+		for _, b := range ledger.Benchmarks {
+			name := b.Name
+			if i := strings.IndexByte(name, '/'); i > 0 {
+				name = name[:i] // sub-benchmark: Name/Case
+			}
+			if !src[name] {
+				t.Errorf("%s lists %s, but no such benchmark function exists", path, b.Name)
+			}
+		}
+	}
+}

@@ -299,6 +299,30 @@ func BenchmarkEngineSumRateBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSweep measures Engine.SweepAll over a Fig 3 style
+// placement grid (37 positions × 5 protocols at 15 dB) — the sharded
+// streaming grid path with per-chunk warm-started Naive4/HBC LPs.
+func BenchmarkEngineSweep(b *testing.B) {
+	eng := bicoop.NewEngine()
+	spec := bicoop.SweepSpec{PowersDB: []float64{15}}
+	for i := 0; i < 37; i++ {
+		spec.Placements = append(spec.Placements,
+			bicoop.RelayPlacement{Pos: 0.05 + 0.9*float64(i)/36, Exponent: 3})
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := eng.SweepAll(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != spec.Size() {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
 // BenchmarkOneShotSumRateBatch evaluates the same 1k-scenario grid through
 // the legacy one-shot facade — one OptimalSumRate call per scenario,
 // results collected exactly as SumRateBatch returns them. This is the

@@ -508,32 +508,5 @@ func RunExperiment(id string, quick bool, seed int64, w io.Writer) error {
 }
 
 func renderResult(res experiments.Result, w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "== %s ==\n%s\n\n", res.ID, res.Description); err != nil {
-		return err
-	}
-	for _, c := range res.Charts {
-		if err := c.Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-	}
-	for _, rp := range res.Regions {
-		if err := rp.Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-	}
-	for _, t := range res.Tables {
-		if err := t.Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-	}
-	if len(res.Findings) > 0 {
-		fmt.Fprintln(w, "Findings:")
-		for _, f := range res.Findings {
-			fmt.Fprintf(w, "  - %s\n", f)
-		}
-	}
-	return nil
+	return res.Render(w)
 }

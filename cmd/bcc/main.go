@@ -6,7 +6,7 @@
 // Usage:
 //
 //	bcc list                            # list reproduction experiments
-//	bcc run <id> [-quick] [-seed N] [-csv] [-workers N] [-cpuprofile f]
+//	bcc run <id> [-quick] [-seed N] [-artifacts dir] [-workers N] [-cpuprofile f]
 //	bcc all [-quick] [-workers N] [-cpuprofile f]
 //	bcc bounds  [-p dB] [-gab dB] [-gar dB] [-gbr dB]
 //	bcc region  [-proto P] [-bound inner|outer] [-p dB] [...gains] [-csv]
@@ -25,8 +25,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -213,6 +215,7 @@ func cmdRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced resolution for a fast run")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	artifacts := fs.String("artifacts", "", "also write <dir>/<id>.txt and <dir>/<id>.csv canonical artifacts")
 	workers, cpuprofile := perfFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -226,8 +229,35 @@ func cmdRun(ctx context.Context, args []string) error {
 		return err
 	}
 	return withPerf(*workers, *cpuprofile, func() error {
-		return eng.RunExperiment(ctx, id, *quick, *seed, os.Stdout)
+		if *artifacts == "" {
+			return eng.RunExperiment(ctx, id, *quick, *seed, os.Stdout)
+		}
+		return writeArtifacts(ctx, *artifacts, id, *quick, *seed)
 	})
+}
+
+// writeArtifacts runs the experiment once through the canonical artifact
+// pipeline, writing <dir>/<id>.txt (also echoed to stdout) and
+// <dir>/<id>.csv — the same byte streams the golden-file tests pin.
+func writeArtifacts(ctx context.Context, dir, id string, quick bool, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	text, err := os.Create(filepath.Join(dir, id+".txt"))
+	if err != nil {
+		return err
+	}
+	defer text.Close()
+	csv, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csv.Close()
+	if err := eng.RunExperimentArtifacts(ctx, id, quick, seed, io.MultiWriter(os.Stdout, text), csv); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s and %s\n", text.Name(), csv.Name())
+	return nil
 }
 
 func cmdAll(ctx context.Context, args []string) error {

@@ -1,0 +1,174 @@
+package main
+
+// compare.go — the `benchjson compare` subcommand: the perf regression gate
+// CI runs on every PR (see the bench-gate job in .github/workflows/ci.yml
+// and `make bench-compare`). It diffs two committed ledgers and fails on
+//
+//   - hot-path time regressions: ns/op grew past the threshold factor;
+//   - allocation regressions: a zero-allocs/op benchmark (the 0-alloc
+//     kernels are load-bearing contracts, see the AllocsPerRun tests)
+//     started allocating, or allocs/op grew past the threshold with more
+//     than allocSlack new allocations;
+//   - disappeared benchmarks: a name present in the old ledger but not the
+//     new one, which is how a hand-edited bench.sh pattern that silently
+//     drops a benchmark turns into a loud CI failure.
+//
+// Improvements and newly added benchmarks are reported as notes, never as
+// failures.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+const (
+	// defaultThreshold is the ns/op growth factor treated as a regression;
+	// 25% headroom absorbs scheduler and turbo noise at CI benchtimes.
+	defaultThreshold = 1.25
+	// defaultAllocThreshold is the allocs/op growth factor. It is a
+	// separate knob because allocation counts are deterministic: loosening
+	// -threshold for cross-machine time noise (as CI's bench-gate does)
+	// must not loosen the allocation gate with it.
+	defaultAllocThreshold = 1.25
+	// allocSlack is the absolute allocs/op growth tolerated before the
+	// relative threshold applies — allocation counts are deterministic, but
+	// a fixed +1 from a new feature on a 2-alloc benchmark should not read
+	// as a 50% regression.
+	allocSlack = 4
+)
+
+// problem is one comparison finding.
+type problem struct {
+	name string
+	msg  string
+	// regression distinguishes gate failures from informational notes.
+	regression bool
+}
+
+// compareLedgers diffs new against old and returns findings sorted by
+// benchmark name, regressions first. threshold gates ns/op growth;
+// allocThreshold gates allocs/op growth (a zero-alloc benchmark that starts
+// allocating fails regardless of either).
+func compareLedgers(oldL, newL Ledger, threshold, allocThreshold float64) []problem {
+	newBy := make(map[string]Result, len(newL.Benchmarks))
+	for _, r := range newL.Benchmarks {
+		newBy[r.Name] = r
+	}
+	oldBy := make(map[string]Result, len(oldL.Benchmarks))
+	var probs []problem
+	for _, o := range oldL.Benchmarks {
+		oldBy[o.Name] = o
+		n, ok := newBy[o.Name]
+		if !ok {
+			probs = append(probs, problem{o.Name, "missing from new ledger (dropped benchmark or stale bench.sh pattern)", true})
+			continue
+		}
+		switch {
+		case n.NsPerOp > o.NsPerOp*threshold:
+			probs = append(probs, problem{o.Name, fmt.Sprintf(
+				"time regressed %.2fx: %.4g -> %.4g ns/op (threshold %.2fx)",
+				n.NsPerOp/o.NsPerOp, o.NsPerOp, n.NsPerOp, threshold), true})
+		case n.NsPerOp*threshold < o.NsPerOp:
+			probs = append(probs, problem{o.Name, fmt.Sprintf(
+				"improved %.2fx: %.4g -> %.4g ns/op",
+				o.NsPerOp/n.NsPerOp, o.NsPerOp, n.NsPerOp), false})
+		}
+		switch {
+		case o.AllocsPerOp == 0 && n.AllocsPerOp > 0:
+			probs = append(probs, problem{o.Name, fmt.Sprintf(
+				"zero-alloc kernel now allocates: 0 -> %g allocs/op", n.AllocsPerOp), true})
+		case n.AllocsPerOp > o.AllocsPerOp*allocThreshold && n.AllocsPerOp-o.AllocsPerOp > allocSlack:
+			probs = append(probs, problem{o.Name, fmt.Sprintf(
+				"allocations regressed: %g -> %g allocs/op (threshold %.2fx, slack %d)",
+				o.AllocsPerOp, n.AllocsPerOp, allocThreshold, allocSlack), true})
+		}
+	}
+	for _, n := range newL.Benchmarks {
+		if _, ok := oldBy[n.Name]; !ok {
+			probs = append(probs, problem{n.Name, "new benchmark (not in old ledger)", false})
+		}
+	}
+	sort.Slice(probs, func(i, j int) bool {
+		if probs[i].regression != probs[j].regression {
+			return probs[i].regression
+		}
+		return probs[i].name < probs[j].name
+	})
+	return probs
+}
+
+func loadLedger(path string) (Ledger, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Ledger{}, err
+	}
+	var l Ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return Ledger{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(l.Benchmarks) == 0 {
+		return Ledger{}, fmt.Errorf("%s: ledger has no benchmarks", path)
+	}
+	return l, nil
+}
+
+// runCompare executes the subcommand and returns the process exit code:
+// 0 clean, 1 regressions found, 2 usage or I/O error.
+func runCompare(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	threshold := fs.Float64("threshold", defaultThreshold,
+		"ns/op growth factor treated as a regression")
+	allocThreshold := fs.Float64("alloc-threshold", defaultAllocThreshold,
+		"allocs/op growth factor treated as a regression (0->nonzero always fails)")
+	fs.Usage = func() {
+		fmt.Fprintln(errw, "usage: benchjson compare old.json new.json [-threshold 1.25] [-alloc-threshold 1.25]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 2 {
+		fs.Usage()
+		return 2
+	}
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	// Accept flags after the positionals too: compare a.json b.json -threshold 2.
+	if err := fs.Parse(fs.Args()[2:]); err != nil {
+		return 2
+	}
+	if *threshold <= 1 || *allocThreshold <= 1 {
+		fmt.Fprintln(errw, "benchjson: -threshold and -alloc-threshold must be > 1")
+		return 2
+	}
+	oldL, err := loadLedger(oldPath)
+	if err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 2
+	}
+	newL, err := loadLedger(newPath)
+	if err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 2
+	}
+	probs := compareLedgers(oldL, newL, *threshold, *allocThreshold)
+	regressions := 0
+	for _, p := range probs {
+		tag := "note"
+		if p.regression {
+			tag = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(out, "%s: %s: %s\n", tag, p.name, p.msg)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(out, "benchjson: %d regression(s) vs %s (threshold %.2fx)\n", regressions, oldPath, *threshold)
+		return 1
+	}
+	fmt.Fprintf(out, "benchjson: ok — %d benchmarks within %.2fx of %s\n", len(oldL.Benchmarks), *threshold, oldPath)
+	return 0
+}

@@ -1,17 +1,24 @@
 // Command benchjson converts `go test -bench -benchmem` output on stdin to
 // a stable JSON ledger on stdout, so benchmark snapshots can be committed
 // and diffed (see scripts/bench.sh and the BENCH_*.json files at the repo
-// root).
+// root), and compares two ledgers as a CI regression gate.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH.json
+//	benchjson compare old.json new.json [-threshold 1.25]
+//
+// compare exits nonzero when any benchmark regresses: its ns/op grows past
+// the threshold factor, a zero-allocation benchmark starts allocating, its
+// allocations grow past the threshold, or it disappears from the new ledger
+// (which is how a silently dropped bench.sh pattern surfaces in CI).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -35,17 +42,26 @@ type Ledger struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	ledger, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(ledger); err != nil {
+	if err := writeLedger(os.Stdout, ledger); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// writeLedger encodes a ledger as indented JSON — the committed snapshot
+// format.
+func writeLedger(w io.Writer, l Ledger) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l)
 }
 
 func parse(sc *bufio.Scanner) (Ledger, error) {

@@ -37,11 +37,13 @@
 //	reg, err := eng.Region(bicoop.HBC, bicoop.Inner, s)
 //	ok, err := eng.Feasible(bicoop.HBC, bicoop.Inner, s, bicoop.RatePoint{Ra: 1, Rb: 1})
 //
-//	// Batches: thousands of scenarios on one warm evaluator.
+//	// Batches: thousands of scenarios sharded across a worker pool, each
+//	// worker holding one warm evaluator.
 //	results, err := eng.SumRateBatch(ctx, bicoop.TDBC, bicoop.Inner, scenarios)
 //
 //	// Declarative grids (power × relay placement × protocol, plus an
-//	// erasure-network axis), streamed point by point.
+//	// erasure-network axis), evaluated in parallel and streamed point by
+//	// point in enumeration order.
 //	err = eng.Sweep(ctx, bicoop.SweepSpec{...}, func(pt bicoop.SweepPoint) error { ... })
 //
 //	// The unified Monte Carlo entry point: one SimSpec selects the fading
@@ -81,6 +83,24 @@
 // and falls back to a reusable-workspace simplex (internal/simplex) for
 // Naive4/HBC.
 //
+// Grid workloads (SumRateBatch, Sweep, the figure experiments) run on the
+// sharded core in internal/sweep: the grid is split into fixed-size chunks
+// pulled by a worker pool, each worker holds one warm evaluator, and within
+// a chunk the Naive4/HBC LPs warm-start from the previous point's optimal
+// basis (simplex.SolveWarmIn — usually zero phase-2 pivots on adjacent grid
+// points). The parallel-sweep knobs: WithWorkers sets an engine-wide
+// default, SweepSpec.Workers overrides per run, and both default to
+// GOMAXPROCS. Chunk boundaries never depend on the worker count, and a
+// post-solve refinement step makes every LP solution a function of its
+// final basis alone, so batch and sweep results are bit-identical for every
+// Workers setting — worker count only trades wall-clock time for cores.
+// The figure pipeline streams: experiments consume sweep points through
+// callbacks, tables accumulate raw floats (plot.ColumnTable) and format
+// once at render time, and each canonical figure emits a text+CSV artifact
+// pinned by golden-file tests (internal/experiments/testdata/figures;
+// regenerate with `go test ./internal/experiments/ -run TestGoldenFigures
+// -update`).
+//
 // The bit-true simulators are word-parallel and sharded: internal/gf2 packs
 // rows into flat []uint64 matrices redrawn in place per block
 // (Matrix.Rerandomize), decodes through a reusable word-level elimination
@@ -113,7 +133,17 @@
 //	# record the before/after ledger (writes BENCH_*.json)
 //	./scripts/bench.sh BENCH_after.json
 //
+//	# the perf regression gate: short ledger run compared against the
+//	# committed BENCH_after.json; nonzero exit on a hot-path time
+//	# regression, on allocs appearing in a 0-alloc kernel, or on a
+//	# benchmark disappearing (stale bench.sh pattern)
+//	make bench-compare
+//	go run ./cmd/benchjson compare BENCH_after.json BENCH_ci.json -threshold 1.25
+//
 // BENCH_baseline.json (the pre-optimization revision) and BENCH_after.json
 // (current) are committed at the repo root; keep them in sync with scripts/
-// bench.sh when a PR changes performance-relevant code.
+// bench.sh when a PR changes performance-relevant code. CI's bench-gate job
+// runs the same compare with a looser threshold (cross-machine ns/op), so a
+// perf regression fails the PR instead of silently rotting the ledger; the
+// bench.sh pattern lists themselves are guarded by TestBenchLedgerCoverage.
 package bicoop

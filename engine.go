@@ -18,10 +18,9 @@ import (
 	"math"
 	"sync"
 
-	"bicoop/internal/channel"
 	"bicoop/internal/experiments"
 	"bicoop/internal/protocols"
-	"bicoop/internal/xmath"
+	"bicoop/internal/sweep"
 )
 
 // Validation errors returned by the facade. They are detected up front so
@@ -91,9 +90,12 @@ type Engine struct {
 // Option configures an Engine at construction.
 type Option func(*Engine)
 
-// WithWorkers sets the default worker-pool size for Simulate (and any other
-// sharded run the engine owns). Non-positive keeps the package default,
-// GOMAXPROCS. A SimSpec's Workers field overrides it per run.
+// WithWorkers sets the default worker-pool size for every sharded run the
+// engine owns: Simulate's Monte Carlo trials, and the SumRateBatch/Sweep
+// grid chunks. Non-positive keeps the package default, GOMAXPROCS. A
+// SimSpec's or SweepSpec's Workers field overrides it per run. Batch and
+// sweep results are bit-identical for every worker count — the setting
+// only trades wall-clock time for cores.
 func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
 }
@@ -120,6 +122,23 @@ func DefaultEngine() *Engine { return defaultEngine }
 
 func (e *Engine) getEval() *protocols.Evaluator   { return e.evals.Get().(*protocols.Evaluator) }
 func (e *Engine) putEval(ev *protocols.Evaluator) { e.evals.Put(ev) }
+
+// enginePool adapts the engine's evaluator pool to internal/sweep's worker
+// pool, so sweeps share evaluators with the rest of the session.
+type enginePool struct{ e *Engine }
+
+func (p enginePool) Get() *protocols.Evaluator   { return p.e.getEval() }
+func (p enginePool) Put(ev *protocols.Evaluator) { p.e.putEval(ev) }
+
+// sweepOpts resolves the sharding options for a grid run: an explicit
+// per-run worker count wins, then the engine's WithWorkers default, then
+// GOMAXPROCS (inside internal/sweep).
+func (e *Engine) sweepOpts(workers int) sweep.Options {
+	if workers <= 0 {
+		workers = e.workers
+	}
+	return sweep.Options{Workers: workers, Pool: enginePool{e}}
+}
 
 // ctxDone returns a non-nil error when ctx has ended. It always satisfies
 // errors.Is(err, ctx.Err()) — so the documented errors.Is(err,
@@ -186,80 +205,39 @@ func (e *Engine) SumRate(p Protocol, b Bound, s Scenario) (SumRateResult, error)
 	}, nil
 }
 
-// batchCheckStride is how many scenarios SumRateBatch solves between
-// context checks; one solve is microseconds, so cancellation latency stays
-// well under a millisecond without per-solve context traffic.
-const batchCheckStride = 256
-
-// dbMemo caches one dB→linear conversion. Grid batches typically vary one
-// or two axes at a time, so consecutive scenarios share most fields and the
-// math.Pow behind each repeated field is paid once per change instead of
-// once per scenario.
-type dbMemo struct {
-	db, lin float64
-	set     bool
-}
-
-func (m *dbMemo) of(db float64) float64 {
-	if !m.set || db != m.db {
-		m.db, m.lin, m.set = db, xmath.FromDB(db), true
-	}
-	return m.lin
-}
-
-// scenarioMemo converts facade scenarios to internal (linear) form with a
-// per-field conversion cache. The conversion is bit-identical to
-// Scenario.internal (both funnel through xmath.FromDB).
-type scenarioMemo struct{ p, ab, ar, br dbMemo }
-
-func (m *scenarioMemo) internal(s Scenario) protocols.Scenario {
-	return protocols.Scenario{
-		P: m.p.of(s.PowerDB),
-		G: channel.Gains{AB: m.ab.of(s.GabDB), AR: m.ar.of(s.GarDB), BR: m.br.of(s.GbrDB)},
-	}
-}
-
-// SumRateBatch evaluates the bound's optimal sum rate for every scenario
-// with a single evaluator held across the whole batch — no per-call spec
-// compilation, pool traffic, or per-result allocation beyond the shared
-// durations backing array. Results are returned in input order. On
-// cancellation it returns the results computed so far alongside the context
+// SumRateBatch evaluates the bound's optimal sum rate for every scenario.
+// The grid is sharded by internal/sweep: fixed-size chunks are pulled by a
+// worker pool (the engine's WithWorkers default), each worker holding one
+// warm pooled evaluator — no per-call spec compilation, and the Naive4/HBC
+// LPs warm-start from the previous scenario's basis within a chunk. Chunk
+// boundaries are worker-count-independent, so results are bit-identical for
+// every Workers setting and are returned in input order. On cancellation it
+// returns the contiguous prefix of completed results alongside the context
 // error.
 func (e *Engine) SumRateBatch(ctx context.Context, p Protocol, b Bound, scenarios []Scenario) ([]SumRateResult, error) {
 	ip, ib, err := resolveEnums(p, b)
 	if err != nil {
 		return nil, err
 	}
-	ev := e.getEval()
-	defer e.putEval(ev)
-	out := make([]SumRateResult, 0, len(scenarios))
-	var durs []float64 // one backing array, carved per result
-	var memo scenarioMemo
 	for i, s := range scenarios {
-		if i%batchCheckStride == 0 {
-			if err := ctxDone(ctx); err != nil {
-				return out, fmt.Errorf("bicoop: %w", err)
-			}
-		}
 		if err := s.Validate(); err != nil {
-			return out, fmt.Errorf("scenario %d: %w", i, err)
+			return nil, fmt.Errorf("scenario %d: %w", i, err)
 		}
-		opt, err := ev.WeightedRate(ip, ib, memo.internal(s), 1, 1)
-		if err != nil {
-			return out, fmt.Errorf("bicoop: scenario %d: %w", i, err)
-		}
-		if durs == nil {
-			durs = make([]float64, 0, len(opt.Durations)*len(scenarios))
-		}
-		start := len(durs)
-		durs = append(durs, opt.Durations...)
-		out = append(out, SumRateResult{
-			Sum:       opt.Objective,
-			Point:     RatePoint{Ra: opt.Rates.Ra, Rb: opt.Rates.Rb},
-			Durations: durs[start:len(durs):len(durs)],
-		})
 	}
-	return out, nil
+	out := make([]SumRateResult, len(scenarios))
+	prefix, runErr := sweep.Batch(ctx, ip, ib, len(scenarios), e.sweepOpts(0),
+		func(i int) sweep.Scenario { return sweep.Scenario(scenarios[i]) },
+		func(i int, r sweep.Result) {
+			out[i] = SumRateResult{
+				Sum:       r.Sum,
+				Point:     RatePoint{Ra: r.Ra, Rb: r.Rb},
+				Durations: r.Durations,
+			}
+		})
+	if runErr != nil {
+		return out[:prefix], fmt.Errorf("bicoop: %w", runErr)
+	}
+	return out[:prefix], nil
 }
 
 // Region computes the full rate region of a protocol bound (one curve of
@@ -301,11 +279,26 @@ func (e *Engine) Feasible(p Protocol, b Bound, s Scenario, pt RatePoint) (bool, 
 // RunExperiment executes a reproduction experiment and renders its charts,
 // tables and findings to w. Quick mode reduces resolutions for fast runs.
 // The context bounds the run: cancelling it stops in-flight Monte Carlo
-// work within one trial.
+// work within one trial (and analytic sweeps within one chunk).
 func (e *Engine) RunExperiment(ctx context.Context, id string, quick bool, seed int64, w io.Writer) error {
 	res, err := experiments.Run(id, experiments.Config{Quick: quick, Seed: seed, Ctx: ctx})
 	if err != nil {
 		return fmt.Errorf("bicoop: %w", err)
 	}
 	return renderResult(res, w)
+}
+
+// RunExperimentArtifacts executes a reproduction experiment and writes its
+// canonical artifact pair — the full text rendering and the numeric CSV of
+// every chart and table — to the two writers. This is the same pipeline the
+// repository's golden-file tests pin under internal/experiments/testdata.
+func (e *Engine) RunExperimentArtifacts(ctx context.Context, id string, quick bool, seed int64, text, csv io.Writer) error {
+	res, err := experiments.Run(id, experiments.Config{Quick: quick, Seed: seed, Ctx: ctx})
+	if err != nil {
+		return fmt.Errorf("bicoop: %w", err)
+	}
+	if err := res.WriteArtifact(text, csv); err != nil {
+		return fmt.Errorf("bicoop: %w", err)
+	}
+	return nil
 }

@@ -1,3 +1,3 @@
 module bicoop
 
-go 1.24
+go 1.23

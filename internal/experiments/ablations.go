@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math"
 
-	"bicoop/internal/channel"
 	"bicoop/internal/plot"
 	"bicoop/internal/protocols"
+	"bicoop/internal/sweep"
 	"bicoop/internal/xmath"
 )
 
@@ -58,11 +58,15 @@ func runDeltaAblation(cfg Config) (Result, error) {
 		}
 	}
 	return Result{
-		Tables: []plot.Table{table},
+		Tables: []plot.TableRenderer{table},
 		Findings: []string{fmt.Sprintf(
 			"duration optimization matters: equal splits lose up to %.1f%% sum rate (worst for %v) — the paper's LP step is load-bearing", maxLoss, maxLossProto)},
 	}, nil
 }
+
+// pathLossProtocols is the evaluation set of the path-loss ablation: HBC
+// against its two special cases.
+var pathLossProtocols = []protocols.Protocol{protocols.HBC, protocols.MABC, protocols.TDBC}
 
 func runPathLoss(cfg Config) (Result, error) {
 	exponents := []float64{2, 3, 4}
@@ -71,40 +75,59 @@ func runPathLoss(cfg Config) (Result, error) {
 		nPos = 7
 	}
 	positions := xmath.Linspace(0.05, 0.95, nPos)
-	p := xmath.FromDB(15)
-	series := make([]plot.Series, 0, len(exponents)*2)
-	table := plot.Table{
-		Title:   "HBC and best-of-{MABC,TDBC} sum rates vs relay position, per path-loss exponent",
-		Headers: []string{"gamma", "relay pos", "HBC", "max(MABC,TDBC)", "HBC gain (%)"},
+	// One streamed grid covers all three exponents: the placement axis is
+	// the (gamma, position) cross product, protocols innermost.
+	spec := sweep.Spec{
+		Protocols: pathLossProtocols,
+		PowersDB:  []float64{15},
 	}
-	var maxGain float64
-	ev := protocols.NewEvaluator()
 	for _, gamma := range exponents {
-		hbcY := make([]float64, nPos)
-		bestY := make([]float64, nPos)
-		for xi, d := range positions {
-			sub, err := relayPoint(ev, d, gamma, p)
-			if err != nil {
-				return Result{}, err
-			}
-			hbcY[xi] = sub.hbc
-			bestY[xi] = sub.best
-			gain := 0.0
-			if sub.best > 0 {
-				gain = 100 * (sub.hbc - sub.best) / sub.best
-			}
-			if gain > maxGain {
-				maxGain = gain
-			}
-			if xi%4 == 0 {
-				table.AddRow(fmt.Sprintf("%.0f", gamma), fmt.Sprintf("%.2f", d),
-					fmt.Sprintf("%.4f", sub.hbc), fmt.Sprintf("%.4f", sub.best), fmt.Sprintf("%.2f", gain))
-			}
+		for _, d := range positions {
+			spec.Placements = append(spec.Placements, sweep.Placement{Pos: d, Exponent: gamma})
 		}
+	}
+	series := make([]plot.Series, 0, len(exponents)*2)
+	for _, gamma := range exponents {
 		series = append(series,
-			plot.Series{Name: fmt.Sprintf("HBC g=%.0f", gamma), Y: hbcY},
-			plot.Series{Name: fmt.Sprintf("best2/3ph g=%.0f", gamma), Y: bestY},
+			plot.Series{Name: fmt.Sprintf("HBC g=%.0f", gamma), Y: make([]float64, 0, nPos)},
+			plot.Series{Name: fmt.Sprintf("best2/3ph g=%.0f", gamma), Y: make([]float64, 0, nPos)},
 		)
+	}
+	table := plot.NewColumnTable("HBC and best-of-{MABC,TDBC} sum rates vs relay position, per path-loss exponent",
+		plot.Col{Name: "gamma", Prec: 0},
+		plot.Col{Name: "relay pos", Prec: 2},
+		plot.Col{Name: "HBC", Prec: 4},
+		plot.Col{Name: "max(MABC,TDBC)", Prec: 4},
+		plot.Col{Name: "HBC gain (%)", Prec: 2},
+	)
+	var maxGain float64
+	nP := len(pathLossProtocols)
+	row := make([]float64, nP) // hbc, mabc, tdbc of the current placement
+	err := sweep.Sweep(cfg.ctx(), spec, cfg.sweepOpts(), func(pt sweep.Point) error {
+		pi := pt.Index % nP
+		row[pi] = pt.Sum
+		if pi != nP-1 {
+			return nil
+		}
+		place := pt.Index / nP
+		gi, xi := place/nPos, place%nPos
+		hbc, best := row[0], math.Max(row[1], row[2])
+		series[2*gi].Y = append(series[2*gi].Y, hbc)
+		series[2*gi+1].Y = append(series[2*gi+1].Y, best)
+		gain := 0.0
+		if best > 0 {
+			gain = 100 * (hbc - best) / best
+		}
+		if gain > maxGain {
+			maxGain = gain
+		}
+		if xi%4 == 0 {
+			table.Append(exponents[gi], positions[xi], hbc, best, gain)
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	return Result{
 		Charts: []plot.Chart{{
@@ -114,36 +137,8 @@ func runPathLoss(cfg Config) (Result, error) {
 			X:      positions,
 			Series: series,
 		}},
-		Tables: []plot.Table{table},
+		Tables: []plot.TableRenderer{table},
 		Findings: []string{fmt.Sprintf(
 			"the HBC advantage over the best two/three-phase protocol persists across path-loss exponents (max %.2f%%), peaking for asymmetric relay placements", maxGain)},
 	}, nil
-}
-
-type relaySums struct {
-	hbc, best float64
-}
-
-func relayPoint(ev *protocols.Evaluator, d, gamma, p float64) (relaySums, error) {
-	g, err := (channel.LineGeometry{RelayPos: d, Exponent: gamma}).Gains()
-	if err != nil {
-		return relaySums{}, err
-	}
-	li, err := protocols.LinkInfosFromScenario(protocols.Scenario{P: p, G: g})
-	if err != nil {
-		return relaySums{}, err
-	}
-	hbc, err := ev.SumRateLinks(protocols.HBC, protocols.BoundInner, li)
-	if err != nil {
-		return relaySums{}, err
-	}
-	mabc, err := ev.SumRateLinks(protocols.MABC, protocols.BoundInner, li)
-	if err != nil {
-		return relaySums{}, err
-	}
-	tdbc, err := ev.SumRateLinks(protocols.TDBC, protocols.BoundInner, li)
-	if err != nil {
-		return relaySums{}, err
-	}
-	return relaySums{hbc: hbc, best: math.Max(mabc, tdbc)}, nil
 }

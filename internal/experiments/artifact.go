@@ -1,0 +1,78 @@
+package experiments
+
+// artifact.go — canonical figure artifacts. Every experiment Result can
+// render itself as text (the CLI output) and flush its numeric content as
+// CSV; the pair written together is the figure's canonical artifact, stored
+// under testdata/figures/ and pinned by golden-file tests so a change to
+// any reproduced number is a visible diff, not a silent drift.
+
+import (
+	"fmt"
+	"io"
+)
+
+// Render writes the experiment's full textual output — description, charts,
+// region plots, tables and findings — to w. It is the single rendering path
+// shared by the CLI, the facade and the artifact writer.
+func (res Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n%s\n\n", res.ID, res.Description); err != nil {
+		return err
+	}
+	for _, c := range res.Charts {
+		if err := c.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, rp := range res.Regions {
+		if err := rp.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	for _, t := range res.Tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if len(res.Findings) > 0 {
+		fmt.Fprintln(w, "Findings:")
+		for _, f := range res.Findings {
+			fmt.Fprintf(w, "  - %s\n", f)
+		}
+	}
+	return nil
+}
+
+// WriteCSV flushes the experiment's numeric content — every chart and every
+// table — as one CSV stream, each block preceded by a `# kind: title`
+// comment line so external tooling can split it.
+func (res Result) WriteCSV(w io.Writer) error {
+	for _, c := range res.Charts {
+		if _, err := fmt.Fprintf(w, "# chart: %s\n", c.Title); err != nil {
+			return err
+		}
+		if err := c.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	for _, t := range res.Tables {
+		if _, err := fmt.Fprintln(w, "# table"); err != nil {
+			return err
+		}
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteArtifact writes the figure's canonical artifact pair: the full text
+// rendering and the numeric CSV.
+func (res Result) WriteArtifact(text, csv io.Writer) error {
+	if err := res.Render(text); err != nil {
+		return err
+	}
+	return res.WriteCSV(csv)
+}

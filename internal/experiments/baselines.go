@@ -35,10 +35,12 @@ func runBaselines(cfg Config) (Result, error) {
 	for i, n := range names {
 		series[i] = plot.Series{Name: n, Y: make([]float64, nP)}
 	}
-	table := plot.Table{
-		Title:   "DF protocols vs AF and the full-duplex ceiling (sum rates, bits/use; Fig 4 gains)",
-		Headers: []string{"P (dB)", "MABC", "TDBC", "HBC", "AF", "full-duplex", "HBC/FD"},
-	}
+	table := plot.NewColumnTable("DF protocols vs AF and the full-duplex ceiling (sum rates, bits/use; Fig 4 gains)",
+		plot.Col{Name: "P (dB)", Prec: 1},
+		plot.Col{Name: "MABC", Prec: 4}, plot.Col{Name: "TDBC", Prec: 4},
+		plot.Col{Name: "HBC", Prec: 4}, plot.Col{Name: "AF", Prec: 4},
+		plot.Col{Name: "full-duplex", Prec: 4}, plot.Col{Name: "HBC/FD", Prec: 4},
+	)
 	afBeatsDFSomewhere := false
 	worstPenalty := 1.0
 	ev := protocols.NewEvaluator()
@@ -72,7 +74,8 @@ func runBaselines(cfg Config) (Result, error) {
 		if af.Sum > vals[0] {
 			afBeatsDFSomewhere = true
 		}
-		table.AddNumericRow(fmt.Sprintf("%.1f", pdb), append(vals, ratio)...)
+		row := append([]float64{pdb}, vals...)
+		table.Append(append(row, ratio)...)
 	}
 	res := Result{
 		Charts: []plot.Chart{{
@@ -82,7 +85,7 @@ func runBaselines(cfg Config) (Result, error) {
 			X:      powersDB,
 			Series: series,
 		}},
-		Tables: []plot.Table{table},
+		Tables: []plot.TableRenderer{table},
 	}
 	res.Findings = append(res.Findings, fmt.Sprintf(
 		"half-duplex HBC retains at least %.0f%% of the full-duplex DF sum rate across the sweep — the cost of the paper's half-duplex constraint", 100*worstPenalty))
@@ -142,7 +145,7 @@ func runBitSimMABC(cfg Config) (Result, error) {
 			X:      scales,
 			Series: []plot.Series{{Name: "success", Y: success}},
 		}},
-		Tables: []plot.Table{table},
+		Tables: []plot.TableRenderer{table},
 	}
 	below, above := success[0], success[len(success)-1]
 	if below > 0.9 && above < 0.1 {
@@ -219,7 +222,7 @@ func runBER(cfg Config) (Result, error) {
 			X:      x,
 			Series: series,
 		}},
-		Tables: []plot.Table{table},
+		Tables: []plot.TableRenderer{table},
 	}
 	// Wilson interval on the tightest measured point documents resolution.
 	iv, err := stats.WilsonInterval(int(5e-4*float64(nBits)), nBits, 0.95)

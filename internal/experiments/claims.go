@@ -8,6 +8,7 @@ import (
 	"bicoop/internal/channel"
 	"bicoop/internal/plot"
 	"bicoop/internal/protocols"
+	"bicoop/internal/sweep"
 	"bicoop/internal/xmath"
 )
 
@@ -29,39 +30,43 @@ func runCrossover(cfg Config) (Result, error) {
 		nP = 11
 	}
 	powersDB := xmath.Linspace(-10, 20, nP)
-	ev := protocols.NewEvaluator() // one evaluator across the power sweep
 	protos := []protocols.Protocol{protocols.MABC, protocols.TDBC, protocols.HBC}
+	spec := sweep.Spec{
+		Protocols: protos,
+		Base:      fig4BaseScenario(0),
+		PowersDB:  powersDB,
+	}
 	series := make([]plot.Series, len(protos))
 	for i, p := range protos {
-		series[i] = plot.Series{Name: p.String(), Y: make([]float64, nP)}
+		series[i] = plot.Series{Name: p.String(), Y: make([]float64, 0, nP)}
 	}
-	table := plot.Table{
-		Title:   "Optimal sum rates vs power (Fig 4 gains)",
-		Headers: []string{"P (dB)", "MABC", "TDBC", "HBC"},
+	table := plot.NewColumnTable("Optimal sum rates vs power (Fig 4 gains)",
+		plot.Col{Name: "P (dB)", Prec: 1},
+		plot.Col{Name: "MABC", Prec: 4},
+		plot.Col{Name: "TDBC", Prec: 4},
+		plot.Col{Name: "HBC", Prec: 4},
+	)
+	row := make([]float64, 1+len(protos))
+	err := sweep.Sweep(cfg.ctx(), spec, cfg.sweepOpts(), func(pt sweep.Point) error {
+		pi := pt.Index % len(protos)
+		series[pi].Y = append(series[pi].Y, pt.Sum)
+		row[1+pi] = pt.Sum
+		if pi == len(protos)-1 {
+			row[0] = powersDB[pt.Index/len(protos)]
+			table.Append(row...)
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	crossAt := math.NaN()
-	var prevDiff float64
-	for xi, pdb := range powersDB {
-		s := protocols.Scenario{P: xmath.FromDB(pdb), G: Fig4Gains()}
-		li, err := protocols.LinkInfosFromScenario(s)
-		if err != nil {
-			return Result{}, err
+	mabcY, tdbcY := series[0].Y, series[1].Y
+	for xi := 1; xi < nP; xi++ {
+		if mabcY[xi-1]-tdbcY[xi-1] > 0 && mabcY[xi]-tdbcY[xi] <= 0 {
+			crossAt = powersDB[xi]
+			break
 		}
-		vals := make([]float64, len(protos))
-		for i, proto := range protos {
-			sum, err := ev.SumRateLinks(proto, protocols.BoundInner, li)
-			if err != nil {
-				return Result{}, err
-			}
-			series[i].Y[xi] = sum
-			vals[i] = sum
-		}
-		table.AddNumericRow(fmt.Sprintf("%.1f", pdb), vals...)
-		diff := vals[0] - vals[1] // MABC - TDBC
-		if xi > 0 && math.IsNaN(crossAt) && prevDiff > 0 && diff <= 0 {
-			crossAt = pdb
-		}
-		prevDiff = diff
 	}
 	res := Result{
 		Charts: []plot.Chart{{
@@ -71,7 +76,7 @@ func runCrossover(cfg Config) (Result, error) {
 			X:      powersDB,
 			Series: series,
 		}},
-		Tables: []plot.Table{table},
+		Tables: []plot.TableRenderer{table},
 	}
 	if !math.IsNaN(crossAt) {
 		res.Findings = append(res.Findings, fmt.Sprintf(
@@ -89,10 +94,13 @@ func runHBCEscape(cfg Config) (Result, error) {
 		powersDB = []float64{0, 10}
 		angles = 91
 	}
-	table := plot.Table{
-		Title:   "HBC achievable points outside both MABC and TDBC outer bounds",
-		Headers: []string{"P (dB)", "witnesses", "max margin (bits)", "witness Ra", "witness Rb"},
-	}
+	table := plot.NewColumnTable("HBC achievable points outside both MABC and TDBC outer bounds",
+		plot.Col{Name: "P (dB)", Prec: 1},
+		plot.Col{Name: "witnesses", Prec: 0},
+		plot.Col{Name: "max margin (bits)", Prec: 4},
+		plot.Col{Name: "witness Ra", Prec: 4},
+		plot.Col{Name: "witness Rb", Prec: 4},
+	)
 	margins := make([]float64, len(powersDB))
 	anyEscape := false
 	for i, pdb := range powersDB {
@@ -111,8 +119,7 @@ func runHBCEscape(cfg Config) (Result, error) {
 		if best.Margin > 1e-4 {
 			anyEscape = true
 		}
-		table.AddNumericRow(fmt.Sprintf("%.1f", pdb),
-			float64(len(esc)), best.Margin, best.Point.Ra, best.Point.Rb)
+		table.Append(pdb, float64(len(esc)), best.Margin, best.Point.Ra, best.Point.Rb)
 	}
 	res := Result{
 		Charts: []plot.Chart{{
@@ -122,7 +129,7 @@ func runHBCEscape(cfg Config) (Result, error) {
 			X:      powersDB,
 			Series: []plot.Series{{Name: "max escape margin", Y: margins}},
 		}},
-		Tables: []plot.Table{table},
+		Tables: []plot.TableRenderer{table},
 	}
 	if anyEscape {
 		res.Findings = append(res.Findings,
@@ -143,10 +150,14 @@ func runMABCTight(cfg Config) (Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	ev := protocols.NewEvaluator()
 	worst := 0.0
-	table := plot.Table{
-		Title:   "MABC inner vs outer region agreement on randomized scenarios",
-		Headers: []string{"trial", "P (dB)", "Gab (dB)", "Gar (dB)", "Gbr (dB)", "Hausdorff-like gap"},
-	}
+	table := plot.NewColumnTable("MABC inner vs outer region agreement on randomized scenarios",
+		plot.Col{Name: "trial", Prec: 0},
+		plot.Col{Name: "P (dB)", Prec: 4},
+		plot.Col{Name: "Gab (dB)", Prec: 4},
+		plot.Col{Name: "Gar (dB)", Prec: 4},
+		plot.Col{Name: "Gbr (dB)", Prec: 4},
+		plot.Col{Name: "Hausdorff-like gap", Prec: 4},
+	)
 	for trial := 0; trial < trials; trial++ {
 		pdb := -10 + 30*rng.Float64()
 		gab := -10 + 8*rng.Float64()
@@ -166,10 +177,10 @@ func runMABCTight(cfg Config) (Result, error) {
 			worst = gap
 		}
 		if trial < 10 {
-			table.AddNumericRow(fmt.Sprintf("%d", trial), pdb, gab, gar, gbr, gap)
+			table.Append(float64(trial), pdb, gab, gar, gbr, gap)
 		}
 	}
-	res := Result{Tables: []plot.Table{table}}
+	res := Result{Tables: []plot.TableRenderer{table}}
 	if worst < 1e-6 {
 		res.Findings = append(res.Findings, fmt.Sprintf(
 			"confirmed: MABC inner and outer regions coincide on all %d randomized scenarios (max area gap %.2e) — Theorem 2 gives the exact capacity region", trials, worst))

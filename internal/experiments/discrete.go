@@ -31,11 +31,13 @@ func runDMC(cfg Config) (Result, error) {
 	for i, p := range protos {
 		series[i] = plot.Series{Name: p.String(), Y: make([]float64, nEps)}
 	}
-	table := plot.Table{
-		Title:   fmt.Sprintf("Sum rates on the all-BSC network (direct link eps = %.2f)", epsD),
-		Headers: []string{"eps relay", "DT", "MABC", "TDBC", "HBC"},
-	}
+	table := plot.NewColumnTable(fmt.Sprintf("Sum rates on the all-BSC network (direct link eps = %.2f)", epsD),
+		plot.Col{Name: "eps relay", Prec: 3},
+		plot.Col{Name: "DT", Prec: 4}, plot.Col{Name: "MABC", Prec: 4},
+		plot.Col{Name: "TDBC", Prec: 4}, plot.Col{Name: "HBC", Prec: 4},
+	)
 	relayBeatsDirect := false
+	row := make([]float64, 1+len(protos))
 	for xi, epsR := range epsRs {
 		n := protocols.SymmetricBSCNetwork(epsR, epsD)
 		li, err := protocols.LinkInfosFromDMC(n, protocols.Inputs{
@@ -44,7 +46,7 @@ func runDMC(cfg Config) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		vals := make([]float64, len(protos))
+		row[0] = epsR
 		for i, proto := range protos {
 			spec, err := protocols.Compile(proto, protocols.BoundInner, li)
 			if err != nil {
@@ -55,10 +57,10 @@ func runDMC(cfg Config) (Result, error) {
 				return Result{}, err
 			}
 			series[i].Y[xi] = opt.Objective
-			vals[i] = opt.Objective
+			row[1+i] = opt.Objective
 		}
-		table.AddNumericRow(fmt.Sprintf("%.3f", epsR), vals...)
-		if vals[1] > vals[0] { // MABC > DT
+		table.Append(row...)
+		if row[2] > row[1] { // MABC > DT
 			relayBeatsDirect = true
 		}
 	}
@@ -70,7 +72,7 @@ func runDMC(cfg Config) (Result, error) {
 			X:      epsRs,
 			Series: series,
 		}},
-		Tables: []plot.Table{table},
+		Tables: []plot.TableRenderer{table},
 	}
 	if relayBeatsDirect {
 		res.Findings = append(res.Findings,
@@ -87,10 +89,13 @@ func runBlahut(cfg Config) (Result, error) {
 		resolutions = []int{2, 8, 32}
 	}
 	snrs := []float64{0.1, 0.5, 2.0}
-	table := plot.Table{
-		Title:   "Quantized BPSK-AWGN capacity (Blahut-Arimoto) vs output bins; real-AWGN Gaussian capacity as the ceiling",
-		Headers: []string{"snr", "bins", "capacity (bits)", "gaussian 0.5*C(snr)", "BA iterations"},
-	}
+	table := plot.NewColumnTable("Quantized BPSK-AWGN capacity (Blahut-Arimoto) vs output bins; real-AWGN Gaussian capacity as the ceiling",
+		plot.Col{Name: "snr", Prec: 1},
+		plot.Col{Name: "bins", Prec: 0},
+		plot.Col{Name: "capacity (bits)", Prec: 6},
+		plot.Col{Name: "gaussian 0.5*C(snr)", Prec: 6},
+		plot.Col{Name: "BA iterations", Prec: 0},
+	)
 	x := make([]float64, len(resolutions))
 	series := make([]plot.Series, len(snrs))
 	for si := range snrs {
@@ -112,9 +117,7 @@ func runBlahut(cfg Config) (Result, error) {
 			if ri > 0 && cap1.Capacity < series[si].Y[ri-1]-1e-9 {
 				monotone = false
 			}
-			table.AddRow(fmt.Sprintf("%.1f", snr), fmt.Sprintf("%d", bins),
-				fmt.Sprintf("%.6f", cap1.Capacity), fmt.Sprintf("%.6f", 0.5*xmath.C(snr)),
-				fmt.Sprintf("%d", cap1.Iterations))
+			table.Append(snr, float64(bins), cap1.Capacity, 0.5*xmath.C(snr), float64(cap1.Iterations))
 		}
 	}
 	res := Result{
@@ -125,7 +128,7 @@ func runBlahut(cfg Config) (Result, error) {
 			X:      x,
 			Series: series,
 		}},
-		Tables: []plot.Table{table},
+		Tables: []plot.TableRenderer{table},
 	}
 	if monotone {
 		res.Findings = append(res.Findings,

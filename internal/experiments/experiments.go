@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"bicoop/internal/plot"
+	"bicoop/internal/sweep"
 )
 
 // Config tunes an experiment run.
@@ -24,9 +25,15 @@ type Config struct {
 	// Seed drives every randomized component.
 	Seed int64
 	// Ctx, when non-nil, bounds the run: experiments hand it to every Monte
-	// Carlo simulator they drive, so cancelling it stops in-flight work
-	// within one trial. Nil means context.Background().
+	// Carlo simulator and analytic sweep they drive, so cancelling it stops
+	// in-flight work within one trial or chunk. Nil means
+	// context.Background().
 	Ctx context.Context
+	// Workers bounds the goroutines sharding the analytic figure sweeps;
+	// zero means GOMAXPROCS. Results are bit-identical for every value (the
+	// Monte Carlo experiments pin their own worker counts for seed
+	// reproducibility).
+	Workers int
 }
 
 // ctx resolves the run context.
@@ -35,6 +42,11 @@ func (c Config) ctx() context.Context {
 		return c.Ctx
 	}
 	return context.Background()
+}
+
+// sweepOpts resolves the sharding options for analytic sweeps.
+func (c Config) sweepOpts() sweep.Options {
+	return sweep.Options{Workers: c.Workers}
 }
 
 // Result is a completed experiment: charts and tables ready to render, plus
@@ -48,8 +60,10 @@ type Result struct {
 	Charts []plot.Chart
 	// Regions holds zero or more rate-region plots.
 	Regions []plot.RegionPlot
-	// Tables holds the numeric tables backing the charts.
-	Tables []plot.Table
+	// Tables holds the numeric tables backing the charts. Purely numeric
+	// figures accumulate into streaming plot.ColumnTable sinks (formatted in
+	// one pass at render time); tables with string cells remain plot.Table.
+	Tables []plot.TableRenderer
 	// Findings lists the qualitative outcomes checked against the paper.
 	Findings []string
 }

@@ -8,6 +8,7 @@ import (
 	"bicoop/internal/plot"
 	"bicoop/internal/protocols"
 	"bicoop/internal/region"
+	"bicoop/internal/sweep"
 	"bicoop/internal/xmath"
 )
 
@@ -30,18 +31,25 @@ func Fig4Gains() channel.Gains {
 	return channel.GainsFromDB(-7, 0, 5)
 }
 
+// fig4GainsDB is the same triple as dB values, for sweep.Spec bases.
+func fig4BaseScenario(powerDB float64) sweep.Scenario {
+	return sweep.Scenario{PowerDB: powerDB, GabDB: -7, GarDB: 0, GbrDB: 5}
+}
+
 // fig3Protocols is the presentation order of the sum-rate curves.
 var fig3Protocols = []protocols.Protocol{
 	protocols.DT, protocols.Naive4, protocols.MABC, protocols.TDBC, protocols.HBC,
 }
 
 func runFig3(cfg Config) (Result, error) {
-	return relayPlacementSweep(cfg, 3, xmath.FromDB(15))
+	return relayPlacementSweep(cfg, 3, 15)
 }
 
 // relayPlacementSweep produces the Fig 3 family: sum rates vs relay position
-// with path-loss exponent gamma at power p.
-func relayPlacementSweep(cfg Config, gamma, p float64) (Result, error) {
+// with path-loss exponent gamma at power powerDB, streamed point by point
+// from the sharded sweep core into the chart series and a lazily formatted
+// column table — no string formatting happens until the figure is rendered.
+func relayPlacementSweep(cfg Config, gamma, powerDB float64) (Result, error) {
 	nPos := 37
 	if cfg.Quick {
 		// Step 0.05 keeps d = 0.30 on the grid — inside the narrow window
@@ -50,39 +58,45 @@ func relayPlacementSweep(cfg Config, gamma, p float64) (Result, error) {
 		nPos = 19
 	}
 	positions := xmath.Linspace(0.05, 0.95, nPos)
-	ev := protocols.NewEvaluator() // one evaluator across the whole sweep
-	series := make([]plot.Series, len(fig3Protocols))
-	for i, proto := range fig3Protocols {
-		series[i] = plot.Series{Name: proto.String(), Y: make([]float64, len(positions))}
+	spec := sweep.Spec{
+		Protocols: fig3Protocols,
+		PowersDB:  []float64{powerDB},
 	}
-	table := plot.Table{
-		Title:   fmt.Sprintf("Optimal achievable sum rates (bits/use), P = %.1f dB, gamma = %g", xmath.DB(p), gamma),
-		Headers: []string{"relay pos", "DT", "Naive4", "MABC", "TDBC", "HBC"},
+	for _, d := range positions {
+		spec.Placements = append(spec.Placements, sweep.Placement{Pos: d, Exponent: gamma})
+	}
+	nP := len(fig3Protocols)
+	series := make([]plot.Series, nP)
+	for i, proto := range fig3Protocols {
+		series[i] = plot.Series{Name: proto.String(), Y: make([]float64, 0, nPos)}
+	}
+	table := plot.NewColumnTable(
+		fmt.Sprintf("Optimal achievable sum rates (bits/use), P = %.1f dB, gamma = %g", powerDB, gamma),
+		plot.Col{Name: "relay pos", Prec: 3},
+		plot.Col{Name: "DT", Prec: 4}, plot.Col{Name: "Naive4", Prec: 4},
+		plot.Col{Name: "MABC", Prec: 4}, plot.Col{Name: "TDBC", Prec: 4},
+		plot.Col{Name: "HBC", Prec: 4},
+	)
+	row := make([]float64, 1+nP)
+	err := sweep.Sweep(cfg.ctx(), spec, cfg.sweepOpts(), func(pt sweep.Point) error {
+		pi := pt.Index % nP
+		series[pi].Y = append(series[pi].Y, pt.Sum)
+		row[1+pi] = pt.Sum
+		if pi == nP-1 {
+			row[0] = positions[pt.Index/nP]
+			table.Append(row...)
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	hbcStrictAt := math.NaN()
+	mabcY, tdbcY, hbcY := series[2].Y, series[3].Y, series[4].Y
 	for xi, d := range positions {
-		g, err := (channel.LineGeometry{RelayPos: d, Exponent: gamma}).Gains()
-		if err != nil {
-			return Result{}, err
-		}
-		s := protocols.Scenario{P: p, G: g}
-		li, err := protocols.LinkInfosFromScenario(s)
-		if err != nil {
-			return Result{}, err
-		}
-		vals := make([]float64, len(fig3Protocols))
-		for i, proto := range fig3Protocols {
-			sum, err := ev.SumRateLinks(proto, protocols.BoundInner, li)
-			if err != nil {
-				return Result{}, err
-			}
-			series[i].Y[xi] = sum
-			vals[i] = sum
-		}
-		table.AddNumericRow(fmt.Sprintf("%.3f", d), vals...)
-		hbc, mabc, tdbc := vals[4], vals[2], vals[3]
-		if math.IsNaN(hbcStrictAt) && hbc > math.Max(mabc, tdbc)+1e-4 {
+		if hbcY[xi] > math.Max(mabcY[xi], tdbcY[xi])+1e-4 {
 			hbcStrictAt = d
+			break
 		}
 	}
 	res := Result{
@@ -93,7 +107,7 @@ func relayPlacementSweep(cfg Config, gamma, p float64) (Result, error) {
 			X:      positions,
 			Series: series,
 		}},
-		Tables: []plot.Table{table},
+		Tables: []plot.TableRenderer{table},
 	}
 	if !math.IsNaN(hbcStrictAt) {
 		res.Findings = append(res.Findings, fmt.Sprintf(
@@ -170,7 +184,7 @@ func runFig4(cfg Config, pDB float64) (Result, error) {
 			Title:  fmt.Sprintf("Achievable rate regions and outer bounds, P = %.0f dB", pDB),
 			Curves: curves,
 		}},
-		Tables: []plot.Table{table},
+		Tables: []plot.TableRenderer{table},
 	}
 
 	// Check the qualitative Fig 4 claims.

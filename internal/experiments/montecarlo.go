@@ -77,7 +77,7 @@ func runFading(cfg Config) (Result, error) {
 			X:      powersDB,
 			Series: meanSeries,
 		}},
-		Tables:   []plot.Table{table},
+		Tables:   []plot.TableRenderer{table},
 		Findings: findings,
 	}, nil
 }
@@ -136,7 +136,7 @@ func runBitSim(cfg Config) (Result, error) {
 			X:      scales,
 			Series: []plot.Series{{Name: "success", Y: success}},
 		}},
-		Tables: []plot.Table{table},
+		Tables: []plot.TableRenderer{table},
 	}
 	below, above := success[0], success[len(success)-1]
 	if below > 0.9 && above < 0.1 {

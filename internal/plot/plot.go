@@ -134,6 +134,14 @@ func (c Chart) Render(w io.Writer) error {
 	return err
 }
 
+// TableRenderer is the common interface of the two table flavours: the
+// string-celled Table and the numeric streaming ColumnTable. Both render an
+// aligned text table and a CSV twin of the same values.
+type TableRenderer interface {
+	Render(w io.Writer) error
+	WriteCSV(w io.Writer) error
+}
+
 // Table renders rows of labeled numeric columns with aligned headers — the
 // textual twin of each figure, listing the exact values.
 type Table struct {
@@ -199,6 +207,193 @@ func (t Table) Render(w io.Writer) error {
 	writeRow(sep)
 	for _, row := range t.Rows {
 		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV emits the table as CSV: the header row followed by every data
+// row, cells escaped as needed.
+func (t Table) WriteCSV(w io.Writer) error {
+	if len(t.Headers) == 0 {
+		return ErrNoData
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := range t.Headers {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if i < len(cells) {
+				b.WriteString(csvEscape(cells[i]))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Col describes one ColumnTable column: its header and the fixed decimal
+// precision its text rendering uses (negative selects the shortest
+// round-trip form; CSV output always uses that form regardless).
+type Col struct {
+	Name string
+	Prec int
+}
+
+// ColumnTable is the streaming twin of Table for purely numeric figures.
+// Producers append raw float rows as a sweep streams by — no per-cell
+// fmt.Sprintf on the accumulation path — and every cell is formatted in a
+// single strconv pass when the table is rendered or flushed to CSV. This is
+// what moved the figure experiments from formatting-bound to math-bound.
+type ColumnTable struct {
+	Title string
+	Cols  []Col
+	cells []float64 // row-major accumulation
+}
+
+// NewColumnTable builds an empty table with the given columns.
+func NewColumnTable(title string, cols ...Col) *ColumnTable {
+	return &ColumnTable{Title: title, Cols: cols}
+}
+
+// Append adds one row of raw values. It panics on an arity mismatch — a
+// programmer error, like a malformed format string.
+func (t *ColumnTable) Append(row ...float64) {
+	if len(row) != len(t.Cols) {
+		panic(fmt.Sprintf("plot: ColumnTable row has %d cells, table has %d columns", len(row), len(t.Cols)))
+	}
+	t.cells = append(t.cells, row...)
+}
+
+// Rows returns the number of appended rows.
+func (t *ColumnTable) Rows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return len(t.cells) / len(t.Cols)
+}
+
+// Column returns a copy of one accumulated column — handy for deriving
+// findings from the same numbers the table renders.
+func (t *ColumnTable) Column(i int) []float64 {
+	n := t.Rows()
+	out := make([]float64, n)
+	for r := 0; r < n; r++ {
+		out[r] = t.cells[r*len(t.Cols)+i]
+	}
+	return out
+}
+
+// format writes every cell once into a shared arena using each column's
+// precision and returns per-cell spans — the single formatting pass both
+// Render and WriteCSV are built on.
+func (t *ColumnTable) format(csv bool) (arena []byte, spans [][2]int) {
+	spans = make([][2]int, len(t.cells))
+	arena = make([]byte, 0, 12*len(t.cells))
+	nc := len(t.Cols)
+	for i, v := range t.cells {
+		start := len(arena)
+		prec := t.Cols[i%nc].Prec
+		if csv || prec < 0 {
+			arena = strconv.AppendFloat(arena, v, 'g', -1, 64)
+		} else {
+			arena = strconv.AppendFloat(arena, v, 'f', prec, 64)
+		}
+		spans[i] = [2]int{start, len(arena)}
+	}
+	return arena, spans
+}
+
+// Render writes the aligned text table to w.
+func (t *ColumnTable) Render(w io.Writer) error {
+	if len(t.Cols) == 0 {
+		return ErrNoData
+	}
+	arena, spans := t.format(false)
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c.Name)
+	}
+	for i, sp := range spans {
+		if l := sp[1] - sp[0]; l > widths[i%len(t.Cols)] {
+			widths[i%len(t.Cols)] = l
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	pad := func(n int) {
+		for ; n > 0; n-- {
+			b.WriteByte(' ')
+		}
+	}
+	for i, c := range t.Cols {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(c.Name)
+		pad(widths[i] - len(c.Name))
+	}
+	b.WriteByte('\n')
+	for i := range t.Cols {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		for n := widths[i]; n > 0; n-- {
+			b.WriteByte('-')
+		}
+	}
+	b.WriteByte('\n')
+	nc := len(t.Cols)
+	for i, sp := range spans {
+		col := i % nc
+		if col > 0 {
+			b.WriteString("  ")
+		}
+		cell := arena[sp[0]:sp[1]]
+		b.Write(cell)
+		if col == nc-1 {
+			b.WriteByte('\n')
+		} else {
+			pad(widths[col] - len(cell))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV emits the accumulated columns as CSV in full (round-trip)
+// precision.
+func (t *ColumnTable) WriteCSV(w io.Writer) error {
+	if len(t.Cols) == 0 {
+		return ErrNoData
+	}
+	arena, spans := t.format(true)
+	var b strings.Builder
+	for i, c := range t.Cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvEscape(c.Name))
+	}
+	b.WriteByte('\n')
+	nc := len(t.Cols)
+	for i, sp := range spans {
+		if col := i % nc; col > 0 {
+			b.WriteByte(',')
+		}
+		b.Write(arena[sp[0]:sp[1]])
+		if i%nc == nc-1 {
+			b.WriteByte('\n')
+		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

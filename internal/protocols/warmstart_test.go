@@ -1,0 +1,131 @@
+package protocols
+
+import (
+	"math"
+	"testing"
+
+	"bicoop/internal/channel"
+)
+
+// warmGrid is a relay-placement sweep row — adjacent points differ slightly,
+// the regime where the warm-started basis should almost always be reused.
+func warmGrid(t testing.TB, n int) []Scenario {
+	t.Helper()
+	out := make([]Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		d := 0.05 + 0.9*float64(i)/float64(n-1)
+		g, err := (channel.LineGeometry{RelayPos: d, Exponent: 3}).Gains()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Scenario{P: fromDB(15), G: g})
+	}
+	return out
+}
+
+// TestWarmStartMatchesCold pins the warm-started Naive4/HBC weighted-rate
+// objectives to the cold ones at 1e-12 across a placement sweep — the
+// contract the sharded grid sweeps rely on for cross-worker reproducibility.
+func TestWarmStartMatchesCold(t *testing.T) {
+	scenarios := warmGrid(t, 101)
+	for _, proto := range []Protocol{Naive4, HBC} {
+		for _, bound := range []Bound{BoundInner, BoundOuter} {
+			warm := NewEvaluator()
+			warm.SetWarmStart(true)
+			cold := NewEvaluator()
+			for i, s := range scenarios {
+				w, err := warm.WeightedRate(proto, bound, s, 1, 1)
+				if err != nil {
+					t.Fatalf("%v %v point %d warm: %v", proto, bound, i, err)
+				}
+				c, err := cold.WeightedRate(proto, bound, s, 1, 1)
+				if err != nil {
+					t.Fatalf("%v %v point %d cold: %v", proto, bound, i, err)
+				}
+				if math.Abs(w.Objective-c.Objective) > 1e-12 {
+					t.Errorf("%v %v point %d: warm %.17g, cold %.17g",
+						proto, bound, i, w.Objective, c.Objective)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmStartResetRestoresColdPath proves ResetWarmStart really drops the
+// hints: after a reset, the next solve is bit-identical to a fresh
+// evaluator's (the determinism chunk boundaries depend on exactly this).
+func TestWarmStartResetRestoresColdPath(t *testing.T) {
+	s := NewScenarioDB(10, -7, 0, 5)
+	other := NewScenarioDB(0, -3, 2, 1)
+
+	warm := NewEvaluator()
+	warm.SetWarmStart(true)
+	if _, err := warm.WeightedRate(HBC, BoundInner, other, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	warm.ResetWarmStart()
+	got, err := warm.WeightedRate(HBC, BoundInner, s, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewEvaluator()
+	fresh.SetWarmStart(true)
+	want, err := fresh.WeightedRate(HBC, BoundInner, s, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Objective != want.Objective || got.Rates != want.Rates {
+		t.Errorf("post-reset solve %+v, fresh-evaluator solve %+v", got, want)
+	}
+}
+
+// TestWarmStartOffIsDefault pins that a fresh evaluator ignores warm state
+// entirely: two interleaved histories produce bit-identical results.
+func TestWarmStartOffIsDefault(t *testing.T) {
+	s := NewScenarioDB(10, -7, 0, 5)
+	a := NewEvaluator()
+	if _, err := a.WeightedRate(HBC, BoundInner, NewScenarioDB(-5, -7, 0, 5), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.WeightedRate(HBC, BoundInner, s, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewEvaluator().WeightedRate(HBC, BoundInner, s, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Objective != want.Objective {
+		t.Errorf("history changed a cold evaluator's result: %.17g vs %.17g",
+			got.Objective, want.Objective)
+	}
+}
+
+// TestWarmStartZeroAlloc keeps the warm path on the allocation-free budget
+// of the evaluator hot path.
+func TestWarmStartZeroAlloc(t *testing.T) {
+	ev := NewEvaluator()
+	ev.SetWarmStart(true)
+	scenarios := warmGrid(t, 8)
+	li := make([]LinkInfos, len(scenarios))
+	for i, s := range scenarios {
+		var err error
+		if li[i], err = LinkInfosFromScenario(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prime sizes and the first basis.
+	if _, err := ev.WeightedRateLinks(HBC, BoundInner, li[0], 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		for i := range li {
+			if _, err := ev.WeightedRateLinks(HBC, BoundInner, li[i], 1, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); allocs != 0 {
+		t.Errorf("warm-started HBC solves allocate %.1f/op, want 0", allocs)
+	}
+}

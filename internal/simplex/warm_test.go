@@ -1,0 +1,167 @@
+package simplex
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// warmProblem is an inequality-form LP of the shape the evaluator's
+// equality-free phase-duration LPs take (non-negative RHS, all-slack start).
+func warmProblem(shift float64) Problem {
+	return Problem{
+		C: []float64{1, 1, 0, 0, 0},
+		AUb: [][]float64{
+			{1, 0, 1.14 + shift, 0, 0},
+			{1, 0, 0.26 + shift, 0, 2.05},
+			{0, 1, 0, 2.05 + shift, 0},
+			{0, 1, 0, 0.26, 1.0 + shift},
+			{1, 1, 1.0, 2.05 + shift, 0},
+			{0, 0, 1, 1, 1},
+		},
+		BUb: []float64{1.14, 0.26, 2.05, 0.26 + shift, 1.0, 1},
+	}
+}
+
+// TestSolveWarmMatchesCold sweeps a perturbation axis, warm-starting each
+// solve from the previous basis, and pins the warm objective to the cold one
+// at 1e-12 — the contract the grid sweeps rely on.
+func TestSolveWarmMatchesCold(t *testing.T) {
+	var warmWS, coldWS Workspace
+	var basis []int
+	for i := 0; i <= 40; i++ {
+		shift := -0.2 + 0.01*float64(i)
+		p := warmProblem(shift)
+		warm, err := p.SolveWarmIn(&warmWS, basis)
+		if err != nil {
+			t.Fatalf("shift %g: warm solve: %v", shift, err)
+		}
+		cold, err := p.SolveIn(&coldWS)
+		if err != nil {
+			t.Fatalf("shift %g: cold solve: %v", shift, err)
+		}
+		if math.Abs(warm.Objective-cold.Objective) > 1e-12 {
+			t.Errorf("shift %g: warm objective %.17g, cold %.17g", shift, warm.Objective, cold.Objective)
+		}
+		for j := range cold.X {
+			if math.Abs(warm.X[j]-cold.X[j]) > 1e-9 {
+				t.Errorf("shift %g: x[%d] warm %g cold %g", shift, j, warm.X[j], cold.X[j])
+			}
+		}
+		basis = warmWS.Basis(basis[:0])
+	}
+}
+
+// TestSolveWarmRepeatIsInstant re-solves the identical problem from its own
+// optimal basis: the crash must land on an already-optimal vertex, so phase 2
+// performs no pivots beyond the crash itself.
+func TestSolveWarmRepeatIsInstant(t *testing.T) {
+	var ws Workspace
+	p := warmProblem(0)
+	first, err := p.SolveIn(&ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := ws.Basis(nil)
+	again, err := p.SolveWarmIn(&ws, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Objective != first.Objective {
+		t.Errorf("objective drifted on identical re-solve: %.17g vs %.17g", again.Objective, first.Objective)
+	}
+	if again.Iterations > len(basis) {
+		t.Errorf("warm re-solve took %d iterations, want at most the %d crash pivots", again.Iterations, len(basis))
+	}
+}
+
+// TestSolveWarmBadHints proves every unusable hint falls back to the cold
+// path and still returns the true optimum.
+func TestSolveWarmBadHints(t *testing.T) {
+	p := warmProblem(0)
+	want, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := len(p.AUb)
+	hints := map[string][]int{
+		"nil":          nil,
+		"short":        {0},
+		"out of range": {0, 1, 2, 3, 4, 99},
+		"negative":     {0, 1, 2, 3, 4, -1},
+		"duplicate":    {0, 0, 1, 2, 3, 4},
+		"all slack":    {5, 6, 7, 8, 9, 10},
+	}
+	for name, hint := range hints {
+		if name != "nil" && name != "short" && len(hint) != m {
+			t.Fatalf("bad fixture %q", name)
+		}
+		var ws Workspace
+		got, err := p.SolveWarmIn(&ws, hint)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(got.Objective-want.Objective) > 1e-12 {
+			t.Errorf("%s: objective %g, want %g", name, got.Objective, want.Objective)
+		}
+	}
+}
+
+// TestSolveWarmRejectsEqualityForm pins that problems outside the inequality
+// fast shape (equality rows, negative RHS) ignore the hint but still solve.
+func TestSolveWarmRejectsEqualityForm(t *testing.T) {
+	p := Problem{
+		C:   []float64{1, 1, 0, 0, 0},
+		AUb: [][]float64{{1, 0, -1.14, 0, 0}, {0, 1, 0, -2.05, 0}, {1, 1, -1.0, -2.05, 0}},
+		BUb: []float64{0, 0, 0},
+		AEq: [][]float64{{0, 0, 1, 1, 1}},
+		BEq: []float64{1},
+	}
+	want, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws Workspace
+	got, err := p.SolveWarmIn(&ws, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Objective-want.Objective) > 1e-12 {
+		t.Errorf("objective %g, want %g", got.Objective, want.Objective)
+	}
+}
+
+// TestSolveWarmUnbounded pins the error contract from a feasible warm basis.
+func TestSolveWarmUnbounded(t *testing.T) {
+	p := Problem{
+		C:   []float64{1, 0},
+		AUb: [][]float64{{0, 1}},
+		BUb: []float64{1},
+	}
+	var ws Workspace
+	if _, err := p.SolveIn(&ws); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("cold err = %v, want ErrUnbounded", err)
+	}
+	if _, err := p.SolveWarmIn(&ws, []int{2}); !errors.Is(err, ErrUnbounded) {
+		t.Errorf("warm err = %v, want ErrUnbounded", err)
+	}
+}
+
+// TestSolveWarmZeroAlloc gates the warm path's steady-state allocation, like
+// the SolveIn gate in workspace_test.go.
+func TestSolveWarmZeroAlloc(t *testing.T) {
+	var ws Workspace
+	p := warmProblem(0)
+	if _, err := p.SolveIn(&ws); err != nil {
+		t.Fatal(err)
+	}
+	basis := ws.Basis(make([]int, 0, len(p.AUb)))
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := p.SolveWarmIn(&ws, basis); err != nil {
+			t.Fatal(err)
+		}
+		basis = ws.Basis(basis[:0])
+	}); allocs != 0 {
+		t.Errorf("warm solve allocates %.1f/op, want 0", allocs)
+	}
+}

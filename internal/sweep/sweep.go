@@ -1,0 +1,269 @@
+// Package sweep is the sharded grid-evaluation core behind the facade's
+// SumRateBatch and Sweep and the figure harness in internal/experiments. It
+// splits an indexed point set into fixed-size chunks pulled by a worker
+// pool; each worker owns a warm protocols.Evaluator whose LP warm-start
+// state is reset at every chunk boundary, so the numbers a chunk produces
+// depend only on the chunk itself — results are bit-identical for every
+// worker count, and the streaming emit callback observes points in strict
+// enumeration order regardless of completion order.
+//
+// Cancellation follows internal/sim's runGate pattern: a context.AfterFunc
+// flips one atomic flag the workers poll per chunk, so an uncancelled run
+// never touches the context's mutex on the hot path and a cancelled one
+// stops within a chunk. The contiguous prefix of completed points is
+// reported alongside the context error, so callers can return partial
+// results.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bicoop/internal/protocols"
+)
+
+// ChunkSize is the number of consecutive points one worker evaluates per
+// claim. It is a fixed constant — never derived from the worker count — so
+// chunk boundaries (and with them the warm-start reset points, and hence
+// every result bit) are identical no matter how many workers run. 64 points
+// amortize the claim and reset cost while keeping cancellation latency and
+// tail imbalance to a few milliseconds of work.
+const ChunkSize = 64
+
+// Pool supplies worker evaluators. Implementations must be safe for
+// concurrent use; the facade's Engine plugs its own sync.Pool in so sweeps
+// share evaluators with the rest of the session.
+type Pool interface {
+	Get() *protocols.Evaluator
+	Put(*protocols.Evaluator)
+}
+
+// pkgPool backs runs that do not bring their own pool (the experiments
+// harness).
+var pkgPool = sync.Pool{New: func() any { return protocols.NewEvaluator() }}
+
+type defaultPool struct{}
+
+func (defaultPool) Get() *protocols.Evaluator   { return pkgPool.Get().(*protocols.Evaluator) }
+func (defaultPool) Put(ev *protocols.Evaluator) { pkgPool.Put(ev) }
+
+// Options tunes a run.
+type Options struct {
+	// Workers bounds the goroutines evaluating chunks; non-positive means
+	// GOMAXPROCS. The worker count affects scheduling only — results are
+	// bit-identical for every value.
+	Workers int
+	// Pool supplies worker evaluators; nil uses a package-level pool.
+	Pool Pool
+}
+
+func (o Options) pool() Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return defaultPool{}
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ctxErr mirrors internal/sim's post-drain context check: the result always
+// satisfies errors.Is(err, ctx.Err()) and additionally wraps a distinct
+// cancellation cause when one was supplied.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, err) {
+		return fmt.Errorf("%w: %w", err, cause)
+	}
+	return err
+}
+
+// Run evaluates n indexed points. do(ev, start, end) evaluates the
+// contiguous chunk [start, end) with a warm evaluator (warm starting
+// enabled, reset at the chunk's start) and must write its results into
+// caller-owned, index-addressed storage; emit(start, end), when non-nil, is
+// invoked for completed chunks in strictly ascending order — the streaming
+// sink. A do or emit error, or context cancellation, halts the run within
+// one chunk per worker.
+//
+// Run returns the length of the contiguous prefix of points whose chunks
+// completed (and, when emit is set, were emitted) without error — n on
+// success — plus the first error in enumeration order, with context errors
+// taking precedence.
+func Run(ctx context.Context, n int, opts Options, do func(ev *protocols.Evaluator, start, end int) error, emit func(start, end int) error) (int, error) {
+	if n <= 0 {
+		return 0, ctxErr(ctx)
+	}
+	nChunks := (n + ChunkSize - 1) / ChunkSize
+	workers := opts.workers()
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		return runSequential(ctx, n, nChunks, opts, do, emit)
+	}
+
+	var halted atomic.Bool
+	haltCh := make(chan struct{})
+	var haltOnce sync.Once
+	halt := func() {
+		haltOnce.Do(func() {
+			halted.Store(true)
+			close(haltCh)
+		})
+	}
+	stop := func() bool { return false }
+	if ctx != nil && ctx.Done() != nil {
+		stop = context.AfterFunc(ctx, halt)
+	}
+	defer stop()
+
+	// tickets bounds how far computation may run ahead of the emitter: a
+	// worker takes one ticket per chunk claim and the emitter returns it
+	// once the chunk has been streamed (or skipped past an error). This
+	// caps the reorder buffer — and with it the caller's live per-chunk
+	// result storage — at window chunks instead of the whole grid.
+	window := 2 * workers
+	if window < 4 {
+		window = 4
+	}
+	if window > nChunks {
+		window = nChunks
+	}
+	tickets := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tickets <- struct{}{}
+	}
+
+	var next atomic.Int64
+	chunkErr := make([]error, nChunks)
+	completions := make(chan int, nChunks)
+	pool := opts.pool()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := pool.Get()
+			ev.SetWarmStart(true)
+			defer func() {
+				ev.SetWarmStart(false) // drops warm state before re-pooling
+				pool.Put(ev)
+			}()
+			for {
+				select {
+				case <-tickets:
+				case <-haltCh:
+					return
+				}
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				lo, hi := chunkBounds(c, n)
+				ev.ResetWarmStart()
+				if err := do(ev, lo, hi); err != nil {
+					chunkErr[c] = err
+					halt()
+				}
+				completions <- c
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(completions)
+	}()
+
+	// The calling goroutine is the emitter: it advances a cursor over the
+	// completed-chunk set and streams ready chunks in order, halting the
+	// pool on an emit error but always draining it. Each advanced chunk
+	// returns its backpressure ticket; ticket sends cannot block because at
+	// most window claims are outstanding. (After a halt the remaining
+	// tickets are irrelevant — workers exit via haltCh.)
+	done := make([]bool, nChunks)
+	nextEmit := 0
+	emitting := emit != nil
+	for c := range completions {
+		done[c] = true
+		for nextEmit < nChunks && done[nextEmit] && chunkErr[nextEmit] == nil {
+			if emitting {
+				lo, hi := chunkBounds(nextEmit, n)
+				if err := emit(lo, hi); err != nil {
+					chunkErr[nextEmit] = err
+					halt()
+					emitting = false
+					break
+				}
+			}
+			nextEmit++
+			tickets <- struct{}{}
+		}
+	}
+
+	prefix := nextEmit * ChunkSize
+	if prefix > n {
+		prefix = n
+	}
+	if err := ctxErr(ctx); err != nil {
+		return prefix, err
+	}
+	for _, err := range chunkErr {
+		if err != nil {
+			return prefix, err
+		}
+	}
+	return prefix, nil
+}
+
+// runSequential is the single-worker path: same chunk boundaries and
+// warm-start resets as the pool, so its outputs are bit-identical, without
+// goroutine or channel overhead.
+func runSequential(ctx context.Context, n, nChunks int, opts Options, do func(ev *protocols.Evaluator, start, end int) error, emit func(start, end int) error) (int, error) {
+	pool := opts.pool()
+	ev := pool.Get()
+	ev.SetWarmStart(true)
+	defer func() {
+		ev.SetWarmStart(false)
+		pool.Put(ev)
+	}()
+	for c := 0; c < nChunks; c++ {
+		if err := ctxErr(ctx); err != nil {
+			return c * ChunkSize, err
+		}
+		lo, hi := chunkBounds(c, n)
+		ev.ResetWarmStart()
+		if err := do(ev, lo, hi); err != nil {
+			return lo, err
+		}
+		if emit != nil {
+			if err := emit(lo, hi); err != nil {
+				return lo, err
+			}
+		}
+	}
+	return n, nil
+}
+
+func chunkBounds(c, n int) (lo, hi int) {
+	lo = c * ChunkSize
+	hi = lo + ChunkSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

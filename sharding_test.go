@@ -1,0 +1,99 @@
+package bicoop_test
+
+// sharding_test.go — determinism contract of the sharded grid paths: the
+// worker count must never change a single result bit, only the wall-clock
+// time. These tests exercise the facade end to end (engine pool, chunked
+// internal/sweep core, warm-started Naive4/HBC LPs).
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"bicoop"
+)
+
+// TestSweepPlacementScenarioSentinel pins the facade's typed-error contract
+// through the sharded core: a placement whose geometry resolves to an
+// unusable scenario must still surface ErrInvalidScenario, as it did before
+// sharding.
+func TestSweepPlacementScenarioSentinel(t *testing.T) {
+	spec := bicoop.SweepSpec{
+		Placements: []bicoop.RelayPlacement{{Pos: 0.5, Exponent: math.NaN()}},
+	}
+	err := bicoop.NewEngine().Sweep(context.Background(), spec, func(bicoop.SweepPoint) error { return nil })
+	if !errors.Is(err, bicoop.ErrInvalidScenario) {
+		t.Errorf("Sweep err = %v, want ErrInvalidScenario", err)
+	}
+}
+
+// TestSumRateBatchBitIdenticalAcrossWorkers compares SumRateBatch results
+// between a single-worker and heavily-sharded engine with == semantics.
+func TestSumRateBatchBitIdenticalAcrossWorkers(t *testing.T) {
+	scenarios := grid(333) // several chunks plus a partial tail
+	ctx := context.Background()
+	for _, p := range []bicoop.Protocol{bicoop.TDBC, bicoop.Naive4, bicoop.HBC} {
+		ref, err := bicoop.NewEngine(bicoop.WithWorkers(1)).SumRateBatch(ctx, p, bicoop.Inner, scenarios)
+		if err != nil {
+			t.Fatalf("%v workers=1: %v", p, err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := bicoop.NewEngine(bicoop.WithWorkers(workers)).SumRateBatch(ctx, p, bicoop.Inner, scenarios)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", p, workers, err)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("%v workers=%d: %d results, want %d", p, workers, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i].Sum != ref[i].Sum || got[i].Point != ref[i].Point ||
+					!reflect.DeepEqual(got[i].Durations, ref[i].Durations) {
+					t.Fatalf("%v workers=%d: result %d differs:\n  got  %+v\n  want %+v",
+						p, workers, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSweepAllBitIdenticalAcrossWorkers pins every SweepPoint field across
+// Workers settings, including the warm-started Naive4/HBC curves and the
+// erasure axis.
+func TestSweepAllBitIdenticalAcrossWorkers(t *testing.T) {
+	var places []bicoop.RelayPlacement
+	for i := 0; i < 30; i++ {
+		places = append(places, bicoop.RelayPlacement{Pos: 0.05 + 0.03*float64(i), Exponent: 3})
+	}
+	spec := bicoop.SweepSpec{
+		PowersDB:   []float64{0, 10, 15},
+		Placements: places,
+		Erasures:   []bicoop.ErasureLinks{{EpsAR: 0.2, EpsBR: 0.1, EpsAB: 0.6}},
+	}
+	ctx := context.Background()
+
+	spec.Workers = 1
+	ref, err := bicoop.NewEngine().SweepAll(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != spec.Size() {
+		t.Fatalf("got %d points, want %d", len(ref), spec.Size())
+	}
+	for _, workers := range []int{2, 8} {
+		spec.Workers = workers
+		got, err := bicoop.NewEngine().SweepAll(ctx, spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			for i := range ref {
+				if !reflect.DeepEqual(got[i], ref[i]) {
+					t.Fatalf("workers=%d: point %d differs:\n  got  %+v\n  want %+v", workers, i, got[i], ref[i])
+				}
+			}
+			t.Fatalf("workers=%d: sweep differs from sequential", workers)
+		}
+	}
+}

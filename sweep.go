@@ -1,17 +1,23 @@
 package bicoop
 
-// sweep.go — the grid subsystem. The paper's headline artifacts (Fig 3
-// placement sweeps, power crossovers, erasure waterfall placement) are all
-// grids of scenarios; SweepSpec declares the axes once and Engine.Sweep
-// streams the evaluated points through a callback so callers can render or
-// aggregate incrementally, holding one evaluator across the entire grid.
+// sweep.go — the public face of the grid subsystem. The paper's headline
+// artifacts (Fig 3 placement sweeps, power crossovers, erasure waterfall
+// placement) are all grids of scenarios; SweepSpec declares the axes once
+// and Engine.Sweep streams the evaluated points through a callback in
+// enumeration order. Evaluation itself is sharded by internal/sweep: the
+// grid is split into fixed-size chunks pulled by a worker pool, each worker
+// holds a warm evaluator whose Naive4/HBC LPs warm-start from the previous
+// point within a chunk, and chunk boundaries are worker-count-independent,
+// so results are bit-identical for every Workers setting.
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"bicoop/internal/protocols"
-	"bicoop/internal/sim"
+	"bicoop/internal/sweep"
 )
 
 // SweepSpec declares a grid of evaluation points. The Gaussian grid is the
@@ -40,32 +46,70 @@ type SweepSpec struct {
 	// TDBC inner-bound point (Theorem 3 with every mutual-information term
 	// equal to one minus the link's erasure probability).
 	Erasures []ErasureLinks
-}
-
-// gaussian reports whether the spec evaluates any Gaussian grid points.
-func (spec SweepSpec) gaussian() bool {
-	return len(spec.PowersDB) > 0 || len(spec.Placements) > 0 || len(spec.Erasures) == 0
+	// Workers bounds the goroutines sharding the grid; zero uses the
+	// engine's WithWorkers default, which itself defaults to GOMAXPROCS.
+	// Results are bit-identical for every value — Workers only trades
+	// wall-clock time for cores.
+	Workers int
 }
 
 // Size returns the number of points the sweep will yield.
 func (spec SweepSpec) Size() int {
-	n := len(spec.Erasures)
-	if !spec.gaussian() {
-		return n
+	ispec, err := spec.internal()
+	if err != nil {
+		return 0
 	}
-	protos := len(spec.Protocols)
-	if protos == 0 {
-		protos = len(AllProtocols())
+	return ispec.Size()
+}
+
+// internal converts the spec to the internal grid form, resolving enums.
+func (spec SweepSpec) internal() (sweep.Spec, error) {
+	out := sweep.Spec{
+		Base:     sweep.Scenario(spec.Base),
+		PowersDB: spec.PowersDB,
 	}
-	powers := len(spec.PowersDB)
-	if powers == 0 {
-		powers = 1
+	for _, p := range spec.Protocols {
+		ip, err := p.internal()
+		if err != nil {
+			return sweep.Spec{}, err
+		}
+		out.Protocols = append(out.Protocols, ip)
 	}
-	places := len(spec.Placements)
-	if places == 0 {
-		places = 1
+	if spec.Bound != 0 {
+		ib, err := spec.Bound.internal()
+		if err != nil {
+			return sweep.Spec{}, err
+		}
+		out.Bound = ib
 	}
-	return powers*places*protos + n
+	for _, rp := range spec.Placements {
+		out.Placements = append(out.Placements, sweep.Placement{
+			Pos: rp.Pos, Exponent: rp.Exponent, GabDB: rp.GabDB,
+		})
+	}
+	for _, e := range spec.Erasures {
+		out.Erasures = append(out.Erasures, sweep.Erasure(e))
+	}
+	return out, nil
+}
+
+// validate rejects non-finite spec numbers up front with the facade's typed
+// sentinels: every power-axis value, and the Base scenario where the grid
+// will actually evaluate it (placements supply their own gains, and an
+// erasures-only sweep never touches Base).
+func (spec SweepSpec) validate() error {
+	for i, pdb := range spec.PowersDB {
+		if math.IsNaN(pdb) || math.IsInf(pdb, 0) {
+			return fmt.Errorf("%w: PowersDB[%d] = %g", ErrInvalidScenario, i, pdb)
+		}
+	}
+	gaussian := len(spec.PowersDB) > 0 || len(spec.Placements) > 0 || len(spec.Erasures) == 0
+	if gaussian && len(spec.Placements) == 0 {
+		if err := spec.Base.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SweepPoint is one evaluated grid point, carrying its grid coordinates and
@@ -90,132 +134,97 @@ type SweepPoint struct {
 	Result SumRateResult
 }
 
+// publicProtocol maps an internal protocol enum back to the facade's.
+func publicProtocol(ip protocols.Protocol) Protocol {
+	switch ip {
+	case protocols.DT:
+		return DT
+	case protocols.Naive4:
+		return Naive4
+	case protocols.MABC:
+		return MABC
+	case protocols.TDBC:
+		return TDBC
+	case protocols.HBC:
+		return HBC
+	default:
+		return 0
+	}
+}
+
+// publicBound maps an internal bound enum back to the facade's.
+func publicBound(ib protocols.Bound) Bound {
+	if ib == protocols.BoundOuter {
+		return Outer
+	}
+	return Inner
+}
+
 // Sweep evaluates the grid and streams each point to yield in enumeration
 // order: for each power, for each placement (or the base gains), for each
 // protocol — then each erasure network. A non-nil error from yield stops
-// the sweep and is returned. Cancelling ctx stops within one point. One
-// pooled evaluator is held across the whole grid, so no per-point spec
-// compilation or workspace allocation occurs.
+// the sweep and is returned. Cancelling ctx stops the workers within one
+// chunk of points.
+//
+// Evaluation is sharded across spec.Workers goroutines (default: the
+// engine's WithWorkers setting, then GOMAXPROCS), each holding one warm
+// pooled evaluator across its chunks, so no per-point spec compilation or
+// workspace allocation occurs — and the results are bit-identical for
+// every worker count.
 func (e *Engine) Sweep(ctx context.Context, spec SweepSpec, yield func(SweepPoint) error) error {
 	if yield == nil {
 		return fmt.Errorf("%w: nil yield callback", ErrInvalidSweepSpec)
 	}
-	protos := spec.Protocols
-	if len(protos) == 0 {
-		protos = AllProtocols()
+	if err := spec.validate(); err != nil {
+		return err
 	}
-	bound := spec.Bound
-	if bound == 0 {
-		bound = Inner
-	}
-	ib, err := bound.internal()
+	ispec, err := spec.internal()
 	if err != nil {
 		return err
 	}
-	iprotos := make([]protocols.Protocol, len(protos))
-	for i, p := range protos {
-		if iprotos[i], err = p.internal(); err != nil {
+	var yieldErr error
+	err = sweep.Sweep(ctx, ispec, e.sweepOpts(spec.Workers), func(pt sweep.Point) error {
+		pub := SweepPoint{
+			Index:    pt.Index,
+			PowerDB:  pt.PowerDB,
+			Scenario: Scenario(pt.Scenario),
+			Protocol: publicProtocol(pt.Proto),
+			Bound:    publicBound(pt.Bound),
+			Result: SumRateResult{
+				Sum:       pt.Sum,
+				Point:     RatePoint{Ra: pt.Ra, Rb: pt.Rb},
+				Durations: pt.Durations,
+			},
+		}
+		if pt.PlacementIdx >= 0 {
+			rp := spec.Placements[pt.PlacementIdx]
+			pub.Placement = &rp
+		}
+		if pt.ErasureIdx >= 0 {
+			links := spec.Erasures[pt.ErasureIdx]
+			pub.Erasure = &links
+		}
+		if err := yield(pub); err != nil {
+			yieldErr = err
 			return err
 		}
+		return nil
+	})
+	switch {
+	case err == nil:
+		return nil
+	case yieldErr != nil && errors.Is(err, yieldErr):
+		return yieldErr // the caller's own error, returned verbatim
+	case errors.Is(err, sweep.ErrSpec):
+		return fmt.Errorf("%w: %v", ErrInvalidSweepSpec, err)
+	case errors.Is(err, protocols.ErrBadScenario):
+		// A grid point resolved to an unusable scenario (e.g. a placement
+		// whose geometry produced non-finite gains): surface the facade's
+		// typed sentinel, like the pre-sharding sweep did.
+		return fmt.Errorf("%w: %v", ErrInvalidScenario, err)
+	default:
+		return fmt.Errorf("bicoop: %w", err)
 	}
-	powers := spec.PowersDB
-	if len(powers) == 0 {
-		powers = []float64{spec.Base.PowerDB}
-	}
-	if !spec.gaussian() {
-		powers = nil
-	}
-
-	ev := e.getEval()
-	defer e.putEval(ev)
-	idx := 0
-	emit := func(pt SweepPoint, ip protocols.Protocol, ib protocols.Bound, li protocols.LinkInfos) error {
-		if err := ctxDone(ctx); err != nil {
-			return fmt.Errorf("bicoop: %w", err)
-		}
-		opt, err := ev.WeightedRateLinks(ip, ib, li, 1, 1)
-		if err != nil {
-			return fmt.Errorf("bicoop: sweep point %d: %w", idx, err)
-		}
-		pt.Index = idx
-		pt.Result = SumRateResult{
-			Sum:       opt.Objective,
-			Point:     RatePoint{Ra: opt.Rates.Ra, Rb: opt.Rates.Rb},
-			Durations: append([]float64(nil), opt.Durations...),
-		}
-		idx++
-		return yield(pt)
-	}
-
-	for _, pdb := range powers {
-		scenarios, placements, err := spec.resolveRow(pdb)
-		if err != nil {
-			return err
-		}
-		for si, s := range scenarios {
-			li, err := protocols.LinkInfosFromScenario(s.internal())
-			if err != nil {
-				return fmt.Errorf("bicoop: %w", err)
-			}
-			for pi, proto := range protos {
-				pt := SweepPoint{
-					PowerDB:   pdb,
-					Placement: placements[si],
-					Scenario:  s,
-					Protocol:  proto,
-					Bound:     bound,
-				}
-				if err := emit(pt, iprotos[pi], ib, li); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	for i := range spec.Erasures {
-		links := spec.Erasures[i]
-		net := sim.ErasureNetwork{EpsAR: links.EpsAR, EpsBR: links.EpsBR, EpsAB: links.EpsAB}
-		if err := net.Validate(); err != nil {
-			return fmt.Errorf("bicoop: %w", err)
-		}
-		pt := SweepPoint{
-			Erasure:  &links,
-			Protocol: TDBC,
-			Bound:    Inner,
-		}
-		if err := emit(pt, protocols.TDBC, protocols.BoundInner, net.LinkInfos()); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// resolveRow materializes one power row of the Gaussian grid: the scenarios
-// to evaluate and, aligned with them, the placement that produced each (nil
-// for the base-gains point).
-func (spec SweepSpec) resolveRow(pdb float64) ([]Scenario, []*RelayPlacement, error) {
-	if len(spec.Placements) == 0 {
-		s := spec.Base
-		s.PowerDB = pdb
-		if err := s.Validate(); err != nil {
-			return nil, nil, err
-		}
-		return []Scenario{s}, []*RelayPlacement{nil}, nil
-	}
-	scenarios := make([]Scenario, 0, len(spec.Placements))
-	placements := make([]*RelayPlacement, 0, len(spec.Placements))
-	for i := range spec.Placements {
-		rp := spec.Placements[i]
-		s, err := rp.Scenario(pdb)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%w: placement %d: %v", ErrInvalidSweepSpec, i, err)
-		}
-		if err := s.Validate(); err != nil {
-			return nil, nil, err
-		}
-		scenarios = append(scenarios, s)
-		placements = append(placements, &rp)
-	}
-	return scenarios, placements, nil
 }
 
 // SweepAll runs Sweep and collects every point — convenient when the grid
