@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
 
-.PHONY: all build vet test bench bench-smoke bench-baseline bench-compare fmt-check
+.PHONY: all build vet test bench bench-smoke bench-baseline bench-compare fmt-check region-artifacts
 
 all: build vet test
 
@@ -36,3 +36,10 @@ bench-baseline:
 bench-compare:
 	./scripts/bench.sh BENCH_ci.json 50x 3x
 	go run ./cmd/benchjson compare BENCH_after.json BENCH_ci.json -threshold 1.25
+
+# region-artifacts writes the canonical text+CSV artifacts of the region
+# figures (both Fig 4 power levels) under artifacts/, through the same
+# pipeline the golden-file tests pin (quick=false, publication resolution).
+region-artifacts:
+	go run ./cmd/bcc run fig4a -artifacts artifacts
+	go run ./cmd/bcc run fig4b -artifacts artifacts

@@ -323,6 +323,72 @@ func BenchmarkEngineSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkRegionParallel measures Engine.RegionBatch over the six Fig 4
+// curves at quick resolution — the region workload on the sharded core
+// (flattened angle axis, per-chunk warm-started HBC LPs, streamed hulls).
+// On a single-core container it pins the sharding overhead against the old
+// serial support sweep; on multi-core hosts the angle axis scales like the
+// grid axes.
+func BenchmarkRegionParallel(b *testing.B) {
+	eng := bicoop.NewEngine()
+	spec := bicoop.RegionBatchSpec{
+		Scenarios: []bicoop.Scenario{{PowerDB: 10, GabDB: -7, GarDB: 0, GbrDB: 5}},
+		Curves: []bicoop.RegionCurve{
+			{Protocol: bicoop.DT, Bound: bicoop.Inner},
+			{Protocol: bicoop.MABC, Bound: bicoop.Inner},
+			{Protocol: bicoop.TDBC, Bound: bicoop.Inner},
+			{Protocol: bicoop.TDBC, Bound: bicoop.Outer},
+			{Protocol: bicoop.MABC, Bound: bicoop.Outer},
+			{Protocol: bicoop.HBC, Bound: bicoop.Inner},
+		},
+		Angles: 61,
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curves := 0
+		err := eng.RegionBatch(ctx, spec, func(bicoop.RegionBatchPoint) error {
+			curves++
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if curves != spec.Size() {
+			b.Fatal("short region batch")
+		}
+	}
+}
+
+// BenchmarkCampaign measures Engine.SimulateBatch over a fading seed
+// family — the outer sharded sweep that pipelines whole Monte Carlo runs
+// (deterministic per-spec seeds, one-goroutine inner default).
+func BenchmarkCampaign(b *testing.B) {
+	eng := bicoop.NewEngine()
+	scen := bicoop.Scenario{PowerDB: 5, GabDB: -7, GarDB: 0, GbrDB: 5}
+	var specs []bicoop.SimSpec
+	for i := 0; i < 4; i++ {
+		specs = append(specs, bicoop.SimSpec{
+			Fading: &bicoop.FadingSpec{Scenario: scen, Target: bicoop.RatePoint{Ra: 0.5, Rb: 0.5}},
+			Trials: 100,
+			Seed:   int64(i),
+		})
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.SimulateBatch(ctx, bicoop.CampaignSpec{Specs: specs}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(specs) {
+			b.Fatal("short campaign")
+		}
+	}
+}
+
 // BenchmarkOneShotSumRateBatch evaluates the same 1k-scenario grid through
 // the legacy one-shot facade — one OptimalSumRate call per scenario,
 // results collected exactly as SumRateBatch returns them. This is the

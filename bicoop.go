@@ -188,9 +188,11 @@ type Region struct {
 }
 
 // RateRegion computes the full rate region of a protocol bound (one curve
-// of Fig 4). It is a one-shot convenience over DefaultEngine().Region.
+// of Fig 4). It is a one-shot convenience over DefaultEngine().Region with
+// a background context and default options; prefer the engine for
+// cancellation and the Angles/Workers knobs.
 func RateRegion(p Protocol, b Bound, s Scenario) (Region, error) {
-	return defaultEngine.Region(p, b, s)
+	return defaultEngine.Region(context.Background(), p, b, s, RegionOptions{})
 }
 
 // Vertices returns the polygon's vertices in counter-clockwise order.

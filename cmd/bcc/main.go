@@ -72,7 +72,7 @@ func run(ctx context.Context, args []string) error {
 	case "bounds":
 		return cmdBounds(args[1:])
 	case "region":
-		return cmdRegion(args[1:])
+		return cmdRegion(ctx, args[1:])
 	case "place":
 		return cmdPlace(ctx, args[1:])
 	case "escape":
@@ -310,12 +310,14 @@ func cmdBounds(args []string) error {
 	return nil
 }
 
-func cmdRegion(args []string) error {
+func cmdRegion(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("region", flag.ContinueOnError)
 	p, gab, gar, gbr := scenarioFlags(fs)
 	protoName := fs.String("proto", "HBC", "protocol: DT, Naive4, MABC, TDBC, HBC")
 	boundName := fs.String("bound", "inner", "bound: inner or outer")
 	csv := fs.Bool("csv", false, "emit the frontier as CSV instead of a table")
+	angles := fs.Int("angles", 0, "support directions of the region sweep (0 = default 181)")
+	workers := fs.Int("workers", 0, "goroutines sharding the angle axis (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -332,7 +334,9 @@ func cmdRegion(args []string) error {
 		return fmt.Errorf("unknown bound %q", *boundName)
 	}
 	s := bicoop.Scenario{PowerDB: *p, GabDB: *gab, GarDB: *gar, GbrDB: *gbr}
-	r, err := eng.Region(proto, bound, s)
+	// The run context flows into the sharded angle sweep, so Ctrl-C stops a
+	// long -angles run within one chunk of LP solves.
+	r, err := eng.Region(ctx, proto, bound, s, bicoop.RegionOptions{Angles: *angles, Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -34,8 +34,17 @@
 //
 //	// Single evaluations.
 //	res, err := eng.SumRate(bicoop.HBC, bicoop.Inner, s)
-//	reg, err := eng.Region(bicoop.HBC, bicoop.Inner, s)
 //	ok, err := eng.Feasible(bicoop.HBC, bicoop.Inner, s, bicoop.RatePoint{Ra: 1, Rb: 1})
+//
+//	// Rate regions: the support-direction sweep behind one Fig 4 curve,
+//	// sharded across workers and cancellable mid-curve. RegionOptions.Angles
+//	// is the resolution knob: more support directions recover more polygon
+//	// vertices exactly (0 means 181, the paper's Fig 4 resolution; the two
+//	// axis maxima are always solved exactly on top of the sweep, so coarse
+//	// sweeps still anchor max Ra / max Rb). RegionBatch computes whole
+//	// curve families — scenarios × protocol bounds — in one sharded run.
+//	reg, err := eng.Region(ctx, bicoop.HBC, bicoop.Inner, s, bicoop.RegionOptions{Angles: 361})
+//	err = eng.RegionBatch(ctx, bicoop.RegionBatchSpec{...}, func(pt bicoop.RegionBatchPoint) error { ... })
 //
 //	// Batches: thousands of scenarios sharded across a worker pool, each
 //	// worker holding one warm evaluator.
@@ -51,6 +60,11 @@
 //	// contract; cancelling ctx stops the shard loops within one trial and
 //	// returns the statistics over the trials completed so far.
 //	sim, err := eng.Simulate(ctx, bicoop.SimSpec{Fading: &bicoop.FadingSpec{Scenario: s}})
+//
+//	// Campaigns: families of simulation runs — waterfall scale axes, seed
+//	// or SNR families — pipelined across an outer worker pool with
+//	// deterministic per-spec seeds, streamed as whole runs in spec order.
+//	all, err := eng.SimulateBatch(ctx, bicoop.CampaignSpec{Specs: specs}, nil)
 //
 // All Engine methods are safe for concurrent use from many goroutines.
 // Inputs are validated up front with typed sentinels (ErrInvalidScenario,
@@ -83,17 +97,41 @@
 // and falls back to a reusable-workspace simplex (internal/simplex) for
 // Naive4/HBC.
 //
-// Grid workloads (SumRateBatch, Sweep, the figure experiments) run on the
-// sharded core in internal/sweep: the grid is split into fixed-size chunks
-// pulled by a worker pool, each worker holds one warm evaluator, and within
-// a chunk the Naive4/HBC LPs warm-start from the previous point's optimal
-// basis (simplex.SolveWarmIn — usually zero phase-2 pivots on adjacent grid
-// points). The parallel-sweep knobs: WithWorkers sets an engine-wide
-// default, SweepSpec.Workers overrides per run, and both default to
-// GOMAXPROCS. Chunk boundaries never depend on the worker count, and a
-// post-solve refinement step makes every LP solution a function of its
-// final basis alone, so batch and sweep results are bit-identical for every
-// Workers setting — worker count only trades wall-clock time for cores.
+// Every parallel workload in the repository — SumRateBatch and Sweep grids,
+// Region and RegionBatch support sweeps, SimulateBatch campaigns, and the
+// figure experiments — executes through one generic sharded core,
+// internal/sweep.RunCore: an indexed point set is split into fixed-size
+// chunks pulled by a worker pool (claim = one atomic add), each worker owns
+// private state supplied by a Hooks[W] triple (NewWorker/ResetWorker/
+// CloseWorker), completed chunks stream to an ordered emitter under a
+// bounded backpressure window (~2x workers chunks live), and cancellation
+// is a context.AfterFunc flipping one atomic flag polled per chunk, with
+// the contiguous completed prefix reported alongside the context error.
+// Sharding a new axis is three decisions: flatten the axis into point
+// indices (the grid flattens power x placement x protocol; regions flatten
+// curves x support directions; campaigns flatten whole simulation runs at
+// chunk size 1), pick the per-worker state W and its per-chunk reset (warm
+// evaluators reset their LP bases; stateless workloads pass
+// Hooks[struct{}]{}), and write results into index-addressed storage so
+// the emitter can stream them in enumeration order. Because chunk
+// boundaries depend only on the point count and chunk size — never on
+// Workers — any state reset happens at the same indices for every worker
+// count, which is what makes every result bit-identical from 1 worker to N.
+//
+// For the LP grids concretely: each worker holds one warm evaluator, and
+// within a chunk the Naive4/HBC LPs warm-start from the previous point's
+// optimal basis (simplex.SolveWarmIn — usually zero phase-2 pivots on
+// adjacent grid points or region angles). The parallel knobs: WithWorkers
+// sets an engine-wide default; SweepSpec.Workers, RegionOptions.Workers,
+// RegionBatchSpec.Workers and CampaignSpec.Workers override per run; all
+// default to GOMAXPROCS. A post-solve refinement step makes every LP
+// solution a function of its final basis alone, so batch, sweep and region
+// results are bit-identical for every Workers setting — worker count only
+// trades wall-clock time for cores. Campaigns keep the same guarantee one
+// level up: every SimSpec carries its own seed, and inside a campaign a
+// spec's zero Workers field means one trial goroutine (not the engine
+// default), so campaign statistics never depend on the outer worker count
+// or the host's core count.
 // The figure pipeline streams: experiments consume sweep points through
 // callbacks, tables accumulate raw floats (plot.ColumnTable) and format
 // once at render time, and each canonical figure emits a text+CSV artifact

@@ -40,6 +40,9 @@ var (
 	ErrInvalidSimSpec = errors.New("bicoop: invalid simulation spec")
 	// ErrInvalidSweepSpec reports an unusable SweepSpec (e.g. nil yield).
 	ErrInvalidSweepSpec = errors.New("bicoop: invalid sweep spec")
+	// ErrInvalidRegionSpec reports an unusable RegionBatchSpec (nil yield,
+	// an empty axis, or a degenerate angle count).
+	ErrInvalidRegionSpec = errors.New("bicoop: invalid region spec")
 )
 
 // Validate rejects NaN and infinite scenario parameters. All fields are dB
@@ -238,22 +241,6 @@ func (e *Engine) SumRateBatch(ctx context.Context, p Protocol, b Bound, scenario
 		return out[:prefix], fmt.Errorf("bicoop: %w", runErr)
 	}
 	return out[:prefix], nil
-}
-
-// Region computes the full rate region of a protocol bound (one curve of
-// Fig 4), reusing a pooled evaluator across the support-direction sweep.
-func (e *Engine) Region(p Protocol, b Bound, s Scenario) (Region, error) {
-	ip, ib, is, err := resolve(p, b, s)
-	if err != nil {
-		return Region{}, err
-	}
-	ev := e.getEval()
-	defer e.putEval(ev)
-	pg, err := ev.Region(ip, ib, is, protocols.RegionOptions{})
-	if err != nil {
-		return Region{}, fmt.Errorf("bicoop: %w", err)
-	}
-	return Region{poly: pg}, nil
 }
 
 // Feasible reports whether a rate pair is within the protocol bound for

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,8 +43,10 @@ func main() {
 			p, res.Sum, res.Point.Ra, res.Point.Rb, compact(res.Durations))
 	}
 
-	// 2. Full rate region of the best protocol (one curve of Fig 4).
-	region, err := eng.Region(bicoop.HBC, bicoop.Inner, s)
+	// 2. Full rate region of the best protocol (one curve of Fig 4). The
+	//    support-direction sweep is sharded across the engine's workers and
+	//    the context can cancel a long run mid-curve.
+	region, err := eng.Region(context.Background(), bicoop.HBC, bicoop.Inner, s, bicoop.RegionOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -117,10 +117,13 @@ func runBitSimMABC(cfg Config) (Result, error) {
 			epsMAC, epsRA, epsRB, blockLen, bound),
 		Headers: []string{"rate scale", "success", "95% CI", "relay fails", "terminal fails"},
 	}
-	for i, sc := range scales {
+	// Scale axis as a campaign: deterministic per-scale runs pipelined
+	// across cfg.Workers (see the bitsim experiment).
+	results := make([]sim.MABCBitTrueResult, len(scales))
+	if err := campaign(cfg, len(scales), func(i int) error {
 		res, err := sim.RunBitTrueMABC(cfg.ctx(), sim.MABCBitTrueConfig{
 			EpsMAC: epsMAC, EpsRA: epsRA, EpsRB: epsRB,
-			Rate:        bound * sc,
+			Rate:        bound * scales[i],
 			Durations:   durations,
 			BlockLength: blockLen,
 			Trials:      trials,
@@ -130,8 +133,15 @@ func runBitSimMABC(cfg Config) (Result, error) {
 			Workers: 8,
 		})
 		if err != nil {
-			return Result{}, err
+			return err
 		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	for i, sc := range scales {
+		res := results[i]
 		success[i] = res.SuccessProb
 		table.AddRow(fmt.Sprintf("%.2f", sc), fmt.Sprintf("%.3f", res.SuccessProb),
 			fmt.Sprintf("[%.3f, %.3f]", res.SuccessCI.Lo, res.SuccessCI.Hi),

@@ -5,9 +5,9 @@ import (
 	"math"
 	"math/rand"
 
-	"bicoop/internal/channel"
 	"bicoop/internal/plot"
 	"bicoop/internal/protocols"
+	"bicoop/internal/region"
 	"bicoop/internal/sweep"
 	"bicoop/internal/xmath"
 )
@@ -87,6 +87,14 @@ func runCrossover(cfg Config) (Result, error) {
 	return res, nil
 }
 
+// hbcEscapeCurves are the three regions the escape search needs, computed
+// per power through the sharded region batch.
+var hbcEscapeCurves = []sweep.RegionCurve{
+	{Proto: protocols.HBC, Bound: protocols.BoundInner},
+	{Proto: protocols.MABC, Bound: protocols.BoundOuter},
+	{Proto: protocols.TDBC, Bound: protocols.BoundOuter},
+}
+
 func runHBCEscape(cfg Config) (Result, error) {
 	powersDB := []float64{-5, 0, 5, 10, 15, 20}
 	angles := 181
@@ -103,11 +111,25 @@ func runHBCEscape(cfg Config) (Result, error) {
 	)
 	margins := make([]float64, len(powersDB))
 	anyEscape := false
-	for i, pdb := range powersDB {
+	// One batch computes all powers × three curves; scenario-major streaming
+	// hands each power's triple over as soon as its last curve completes,
+	// so the exact LP witness verification pipelines behind the sweeps.
+	spec := sweep.RegionSpec{Curves: hbcEscapeCurves, Angles: angles}
+	for _, pdb := range powersDB {
+		spec.Scenarios = append(spec.Scenarios, fig4BaseScenario(pdb))
+	}
+	triple := make([]region.Polygon, len(hbcEscapeCurves))
+	err := sweep.RegionBatch(cfg.ctx(), spec, cfg.sweepOpts(), func(r sweep.RegionResult) error {
+		triple[r.CurveIdx] = r.Polygon
+		if r.CurveIdx < len(hbcEscapeCurves)-1 {
+			return nil
+		}
+		i := r.ScenarioIdx
+		pdb := powersDB[i]
 		s := protocols.Scenario{P: xmath.FromDB(pdb), G: Fig4Gains()}
-		esc, err := protocols.HBCEscapePoints(s, protocols.RegionOptions{Angles: angles})
+		esc, err := protocols.HBCEscapeFromRegions(s, triple[0], triple[1], triple[2])
 		if err != nil {
-			return Result{}, err
+			return err
 		}
 		best := protocols.EscapeWitness{}
 		for _, e := range esc {
@@ -120,6 +142,10 @@ func runHBCEscape(cfg Config) (Result, error) {
 			anyEscape = true
 		}
 		table.Append(pdb, float64(len(esc)), best.Margin, best.Point.Ra, best.Point.Rb)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	res := Result{
 		Charts: []plot.Chart{{
@@ -147,8 +173,27 @@ func runMABCTight(cfg Config) (Result, error) {
 		trials = 8
 		angles = 61
 	}
+	// Scenarios are drawn up front (the rng stream is the experiment's
+	// determinism contract), then all trials × {inner, outer} run as one
+	// sharded region batch; the inner/outer pair of each trial streams back
+	// consecutively, so the area comparison needs only one polygon of state.
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-	ev := protocols.NewEvaluator()
+	spec := sweep.RegionSpec{
+		Curves: []sweep.RegionCurve{
+			{Proto: protocols.MABC, Bound: protocols.BoundInner},
+			{Proto: protocols.MABC, Bound: protocols.BoundOuter},
+		},
+		Angles: angles,
+	}
+	for trial := 0; trial < trials; trial++ {
+		pdb := -10 + 30*rng.Float64()
+		gab := -10 + 8*rng.Float64()
+		gar := gab + 15*rng.Float64()
+		gbr := gab + 15*rng.Float64()
+		spec.Scenarios = append(spec.Scenarios, sweep.Scenario{
+			PowerDB: pdb, GabDB: gab, GarDB: gar, GbrDB: gbr,
+		})
+	}
 	worst := 0.0
 	table := plot.NewColumnTable("MABC inner vs outer region agreement on randomized scenarios",
 		plot.Col{Name: "trial", Prec: 0},
@@ -158,27 +203,25 @@ func runMABCTight(cfg Config) (Result, error) {
 		plot.Col{Name: "Gbr (dB)", Prec: 4},
 		plot.Col{Name: "Hausdorff-like gap", Prec: 4},
 	)
-	for trial := 0; trial < trials; trial++ {
-		pdb := -10 + 30*rng.Float64()
-		gab := -10 + 8*rng.Float64()
-		gar := gab + 15*rng.Float64()
-		gbr := gab + 15*rng.Float64()
-		s := protocols.Scenario{P: xmath.FromDB(pdb), G: channel.GainsFromDB(gab, gar, gbr)}
-		inner, err := ev.Region(protocols.MABC, protocols.BoundInner, s, protocols.RegionOptions{Angles: angles})
-		if err != nil {
-			return Result{}, err
+	var inner region.Polygon
+	err := sweep.RegionBatch(cfg.ctx(), spec, cfg.sweepOpts(), func(r sweep.RegionResult) error {
+		if r.CurveIdx == 0 {
+			inner = r.Polygon
+			return nil
 		}
-		outer, err := ev.Region(protocols.MABC, protocols.BoundOuter, s, protocols.RegionOptions{Angles: angles})
-		if err != nil {
-			return Result{}, err
-		}
-		gap := math.Abs(inner.Area() - outer.Area())
+		trial := r.ScenarioIdx
+		gap := math.Abs(inner.Area() - r.Polygon.Area())
 		if gap > worst {
 			worst = gap
 		}
 		if trial < 10 {
-			table.Append(float64(trial), pdb, gab, gar, gbr, gap)
+			s := spec.Scenarios[trial]
+			table.Append(float64(trial), s.PowerDB, s.GabDB, s.GarDB, s.GbrDB, gap)
 		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	res := Result{Tables: []plot.TableRenderer{table}}
 	if worst < 1e-6 {

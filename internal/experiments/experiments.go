@@ -29,10 +29,12 @@ type Config struct {
 	// in-flight work within one trial or chunk. Nil means
 	// context.Background().
 	Ctx context.Context
-	// Workers bounds the goroutines sharding the analytic figure sweeps;
+	// Workers bounds the goroutines sharding the analytic figure sweeps,
+	// the region batches, and the outer pool of the Monte Carlo campaigns;
 	// zero means GOMAXPROCS. Results are bit-identical for every value (the
-	// Monte Carlo experiments pin their own worker counts for seed
-	// reproducibility).
+	// Monte Carlo experiments pin their own inner worker counts for seed
+	// reproducibility, so campaign resharding never changes a random
+	// stream).
 	Workers int
 }
 

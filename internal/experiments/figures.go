@@ -145,18 +145,25 @@ func runFig4(cfg Config, pDB float64) (Result, error) {
 		angles = 61
 	}
 	s := protocols.Scenario{P: xmath.FromDB(pDB), G: Fig4Gains()}
-	ev := protocols.NewEvaluator() // shared across every region sweep below
+	// All six curves run as one region batch: the flattened angle axis is
+	// sharded by the same chunked core as the grid sweeps, and completed
+	// polygons stream back in presentation order.
+	spec := sweep.RegionSpec{
+		Scenarios: []sweep.Scenario{fig4BaseScenario(pDB)},
+		Angles:    angles,
+	}
+	for _, c := range fig4Curves {
+		spec.Curves = append(spec.Curves, sweep.RegionCurve{Proto: c.proto, Bound: c.bound})
+	}
 	curves := make([]plot.RegionCurve, 0, len(fig4Curves))
 	polys := make(map[string]region.Polygon, len(fig4Curves))
 	table := plot.Table{
 		Title:   fmt.Sprintf("Rate-region summary at P = %.0f dB (bits/use)", pDB),
 		Headers: []string{"curve", "max Ra", "max Rb", "max Ra+Rb", "area"},
 	}
-	for _, c := range fig4Curves {
-		pg, err := ev.Region(c.proto, c.bound, s, protocols.RegionOptions{Angles: angles})
-		if err != nil {
-			return Result{}, err
-		}
+	err := sweep.RegionBatch(cfg.ctx(), spec, cfg.sweepOpts(), func(r sweep.RegionResult) error {
+		c := fig4Curves[r.CurveIdx]
+		pg := r.Polygon
 		polys[c.name] = pg
 		maxRa, _ := pg.Support(1, 0)
 		maxRb, _ := pg.Support(0, 1)
@@ -174,9 +181,13 @@ func runFig4(cfg Config, pDB float64) (Result, error) {
 		rb = append(rb, 0)
 		curve, err := plot.CurveFromPairs(c.name, ra, rb)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
 		curves = append(curves, curve)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 
 	res := Result{
@@ -187,8 +198,11 @@ func runFig4(cfg Config, pDB float64) (Result, error) {
 		Tables: []plot.TableRenderer{table},
 	}
 
-	// Check the qualitative Fig 4 claims.
-	esc, err := protocols.HBCEscapePoints(s, protocols.RegionOptions{Angles: angles})
+	// Check the qualitative Fig 4 claims, reusing the polygons the batch
+	// just computed instead of re-sweeping three regions (the LP witness
+	// verification inside is exact either way).
+	esc, err := protocols.HBCEscapeFromRegions(s,
+		polys["HBC inner"], polys["MABC outer"], polys["TDBC outer"])
 	if err != nil {
 		return Result{}, err
 	}

@@ -16,8 +16,9 @@ var update = flag.Bool("update", false, "rewrite the golden figure artifacts und
 // goldenIDs lists the experiments pinned as canonical artifacts: the
 // deterministic analytic figures (no Monte Carlo), in quick mode with seed 1.
 // Every reproduced number of these figures is a golden-file diff away from
-// review — numeric drift cannot land silently.
-var goldenIDs = []string{"fig3", "fig4a", "crossover"}
+// review — numeric drift cannot land silently. Both Fig 4 power levels are
+// pinned so the sharded region-batch path has a golden region table at each.
+var goldenIDs = []string{"fig3", "fig4a", "fig4b", "crossover"}
 
 func goldenPath(id, ext string) string {
 	return filepath.Join("testdata", "figures", id+ext)

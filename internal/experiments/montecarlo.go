@@ -6,8 +6,30 @@ import (
 	"bicoop/internal/plot"
 	"bicoop/internal/protocols"
 	"bicoop/internal/sim"
+	"bicoop/internal/sweep"
 	"bicoop/internal/xmath"
 )
+
+// campaign runs n independent simulation points through the generic sharded
+// core with one run per chunk, so a family of Monte Carlo runs (a waterfall
+// scale axis, a seed/SNR family) pipelines across cfg.Workers instead of
+// executing scales-in-series. Each point must be individually deterministic
+// (fixed seed and inner worker count), which makes the campaign's results
+// independent of the outer worker count; run(i) stores its own result.
+func campaign(cfg Config, n int, run func(i int) error) error {
+	_, err := sweep.RunCore(cfg.ctx(), n,
+		sweep.CoreOptions{Workers: cfg.Workers, ChunkSize: 1},
+		sweep.Hooks[struct{}]{},
+		func(_ struct{}, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if err := run(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil)
+	return err
+}
 
 func init() {
 	register("fading",
@@ -35,18 +57,34 @@ func runFading(cfg Config) (Result, error) {
 		meanSeries[i] = plot.Series{Name: p.String(), Y: make([]float64, len(powersDB))}
 	}
 	var findings []string
-	for pi, pdb := range powersDB {
+	// The SNR family is a campaign: every power level is one deterministic
+	// run (per-power seed, fixed inner worker count), pipelined across
+	// cfg.Workers instead of executing powers-in-series.
+	results := make([]sim.OutageResult, len(powersDB))
+	err := campaign(cfg, len(powersDB), func(pi int) error {
 		res, err := sim.RunOutage(cfg.ctx(), sim.OutageConfig{
 			Mean:      Fig4Gains(),
-			P:         xmath.FromDB(pdb),
+			P:         xmath.FromDB(powersDB[pi]),
 			Protocols: protos,
 			Target:    protocols.RatePair{Ra: 0.5, Rb: 0.5},
 			Trials:    trials,
 			Seed:      cfg.Seed + int64(pi),
+			// A fixed worker count (not GOMAXPROCS) keeps the per-trial
+			// random streams — and with them the table — reproducible
+			// across machines and campaign worker counts.
+			Workers: 4,
 		})
 		if err != nil {
-			return Result{}, err
+			return err
 		}
+		results[pi] = res
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for pi, pdb := range powersDB {
+		res := results[pi]
 		for i, proto := range protos {
 			fixed, err := ev.SumRate(proto, protocols.BoundInner,
 				protocols.Scenario{P: xmath.FromDB(pdb), G: Fig4Gains()})
@@ -108,10 +146,14 @@ func runBitSim(cfg Config) (Result, error) {
 			net.EpsAR, net.EpsBR, net.EpsAB, blockLen, opt.Objective),
 		Headers: []string{"rate scale", "success prob", "relay fails", "terminal fails"},
 	}
-	for i, sc := range scales {
+	// The waterfall's scale axis is a campaign: each scale is one
+	// deterministic bit-true run, pipelined across cfg.Workers instead of
+	// executing scales-in-series.
+	results := make([]sim.BitTrueResult, len(scales))
+	if err := campaign(cfg, len(scales), func(i int) error {
 		res, err := sim.RunBitTrueTDBC(cfg.ctx(), sim.BitTrueConfig{
 			Net:         net,
-			Rates:       protocols.RatePair{Ra: opt.Rates.Ra * sc, Rb: opt.Rates.Rb * sc},
+			Rates:       protocols.RatePair{Ra: opt.Rates.Ra * scales[i], Rb: opt.Rates.Rb * scales[i]},
 			Durations:   opt.Durations,
 			BlockLength: blockLen,
 			Trials:      trials,
@@ -122,8 +164,15 @@ func runBitSim(cfg Config) (Result, error) {
 			Workers: 8,
 		})
 		if err != nil {
-			return Result{}, err
+			return err
 		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	for i, sc := range scales {
+		res := results[i]
 		success[i] = res.SuccessProb
 		table.AddRow(fmt.Sprintf("%.2f", sc), fmt.Sprintf("%.3f", res.SuccessProb),
 			fmt.Sprintf("%d", res.RelayFailures), fmt.Sprintf("%d", res.TerminalFailures))

@@ -95,6 +95,16 @@ func HBCEscapePoints(s Scenario, opts RegionOptions) ([]EscapeWitness, error) {
 	if err != nil {
 		return nil, err
 	}
+	return HBCEscapeFromRegions(s, hbcInner, mabcOuter, tdbcOuter)
+}
+
+// HBCEscapeFromRegions runs the escape search over precomputed region
+// polygons — the path for callers that already hold the three curves (e.g.
+// the Fig 4 experiment, which computes them once through the sharded batch
+// and reuses them here instead of re-sweeping). The polygons must all come
+// from the same scenario s, which is still needed for the exact LP
+// verification of each candidate.
+func HBCEscapeFromRegions(s Scenario, hbcInner, mabcOuter, tdbcOuter region.Polygon) ([]EscapeWitness, error) {
 	mabcSpec, err := CompileGaussian(MABC, BoundOuter, s)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package protocols
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -147,12 +148,56 @@ func (s Spec) DurationsFor(r RatePair) ([]float64, error) {
 	return d, nil
 }
 
+// DefaultRegionAngles is the support-direction count of a region sweep when
+// RegionOptions.Angles is zero — the resolution of the paper's Fig 4 curves.
+const DefaultRegionAngles = 181
+
 // RegionOptions tunes Region's support-function sweep.
 type RegionOptions struct {
 	// Angles is the number of support directions swept across the first
 	// quadrant; more angles recover more polygon vertices exactly. Zero
-	// defaults to 181.
+	// defaults to DefaultRegionAngles (181).
 	Angles int
+	// Ctx, when non-nil, bounds the sweep: cancellation is checked once per
+	// support direction, so a long region build stops within one LP solve.
+	// The sharded region path (internal/sweep.RegionBatch) has its own
+	// chunk-level cancellation and ignores this field.
+	Ctx context.Context
+}
+
+// angles resolves the sweep resolution.
+func (o RegionOptions) angles() int {
+	if o.Angles > 0 {
+		return o.Angles
+	}
+	return DefaultRegionAngles
+}
+
+// RegionDirection returns the i-th support direction (muA, muB) of an
+// angles-point sweep across the first quadrant: theta = (pi/2)·i/(angles-1).
+// It is the single definition shared by the serial sweep below and the
+// sharded angle axis in internal/sweep, so both paths solve bit-identical
+// weight vectors.
+func RegionDirection(i, angles int) (muA, muB float64) {
+	theta := math.Pi / 2 * float64(i) / float64(angles-1)
+	return math.Cos(theta), math.Sin(theta)
+}
+
+// AssembleRegion builds the region polygon from a support sweep's raw
+// optimal vertices plus the exact axis maxima: the origin is prepended, the
+// per-user maxima are projected onto the axes to keep the hull anchored even
+// if no swept vertex lands exactly there, and the convex hull is taken.
+// Shared by regionFromSolver and the sharded path (internal/sweep) so the
+// assembled polygons agree vertex for vertex.
+func AssembleRegion(swept []region.Point, raMax, rbMax float64) region.Polygon {
+	pts := make([]region.Point, 0, len(swept)+3)
+	pts = append(pts, region.Point{Ra: 0, Rb: 0})
+	pts = append(pts, swept...)
+	pts = append(pts,
+		region.Point{Ra: raMax, Rb: 0},
+		region.Point{Ra: 0, Rb: rbMax},
+	)
+	return region.ConvexHull(pts)
 }
 
 // Region computes the bound's rate region (the projection of the feasible
@@ -165,29 +210,30 @@ func (s Spec) Region(opts RegionOptions) (region.Polygon, error) {
 }
 
 // regionFromSolver is the support-function sweep shared by Spec.Region and
-// Evaluator.Region; solve maximizes muA·Ra + muB·Rb over the bound.
+// Evaluator.Region; solve maximizes muA·Ra + muB·Rb over the bound. When
+// opts.Ctx is set, cancellation is honored between support directions.
 func regionFromSolver(solve func(muA, muB float64) (Optimum, error), opts RegionOptions) (region.Polygon, error) {
-	angles := opts.Angles
-	if angles <= 0 {
-		angles = 181
-	}
-	pts := make([]region.Point, 0, angles+3)
-	pts = append(pts, region.Point{Ra: 0, Rb: 0})
+	angles := opts.angles()
+	swept := make([]region.Point, 0, angles)
 	for i := 0; i < angles; i++ {
-		theta := math.Pi / 2 * float64(i) / float64(angles-1)
-		muA, muB := math.Cos(theta), math.Sin(theta)
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return region.Polygon{}, err
+			}
+		}
+		muA, muB := RegionDirection(i, angles)
 		opt, err := solve(muA, muB)
 		if err != nil {
 			return region.Polygon{}, err
 		}
 		// Rates are non-negative by construction; clear solver jitter.
-		pts = append(pts, region.Point{
+		swept = append(swept, region.Point{
 			Ra: math.Max(opt.Rates.Ra, 0),
 			Rb: math.Max(opt.Rates.Rb, 0),
 		})
 	}
-	// Axis-intercept points: the per-user maxima projected to the axes keep
-	// the hull anchored even if no swept vertex lands exactly there.
+	// Exact axis solves anchor the per-user maxima (the swept direction at
+	// theta = pi/2 is (cos, sin) with cos not exactly zero).
 	raMax, err := solve(1, 0)
 	if err != nil {
 		return region.Polygon{}, err
@@ -196,11 +242,7 @@ func regionFromSolver(solve func(muA, muB float64) (Optimum, error), opts Region
 	if err != nil {
 		return region.Polygon{}, err
 	}
-	pts = append(pts,
-		region.Point{Ra: raMax.Rates.Ra, Rb: 0},
-		region.Point{Ra: 0, Rb: rbMax.Rates.Rb},
-	)
-	return region.ConvexHull(pts), nil
+	return AssembleRegion(swept, raMax.Rates.Ra, rbMax.Rates.Rb), nil
 }
 
 // FixedDurationRegion computes the rate region when the phase durations are

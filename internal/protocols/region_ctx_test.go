@@ -1,0 +1,40 @@
+package protocols
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRegionHonorsContext pins the serial region sweep's cancellation hook:
+// a pre-cancelled RegionOptions.Ctx stops the sweep before (or between) LP
+// solves, for both the Spec and Evaluator paths.
+func TestRegionHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := testScenario(10)
+	spec, err := CompileGaussian(HBC, BoundInner, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Region(RegionOptions{Angles: 1 << 20, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Spec.Region err = %v, want context.Canceled", err)
+	}
+	ev := NewEvaluator()
+	start := time.Now()
+	if _, err := ev.Region(HBC, BoundInner, s, RegionOptions{Angles: 1 << 20, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Evaluator.Region err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancelled Evaluator.Region took %v, want immediate return", elapsed)
+	}
+	// A live context must leave results untouched.
+	pg, err := ev.Region(HBC, BoundInner, s, RegionOptions{Angles: 31, Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.IsEmpty() {
+		t.Error("region empty under a live context")
+	}
+}

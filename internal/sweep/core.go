@@ -1,0 +1,261 @@
+package sweep
+
+// core.go — the workload-generic sharded execution core. Run (the
+// evaluator-grid entry point in sweep.go), RegionBatch (region.go) and the
+// facade's simulation campaigns all execute through RunCore: an indexed
+// point set is split into fixed-size chunks pulled by a worker pool, each
+// worker owning private state W supplied by Hooks and reset at every chunk
+// boundary, with an ordered streaming emitter under bounded backpressure.
+//
+// The contract every workload inherits:
+//
+//   - chunk claim is one atomic add; chunk boundaries depend only on n and
+//     the chunk size, never on Workers, so any per-chunk state reset happens
+//     at the same indices for every worker count and results stay
+//     bit-identical;
+//   - emit(start, end) observes completed chunks in strictly ascending
+//     order, with at most ~2×workers chunks of results live (ticket
+//     semaphore), so streaming consumers hold O(workers) chunks, not the
+//     whole point set;
+//   - cancellation follows internal/sim's runGate pattern: a
+//     context.AfterFunc flips one atomic flag polled per chunk, the pool
+//     drains within one chunk per worker, and the contiguous prefix of
+//     completed (and emitted) points is reported alongside the context
+//     error.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Hooks supplies the per-worker state of a generic sharded run. Every worker
+// goroutine owns one W for its lifetime; ResetWorker runs at each chunk
+// boundary so a chunk's results depend only on the chunk itself, never on
+// which worker evaluated the previous one. All fields are optional: a nil
+// NewWorker gives every worker W's zero value (stateless workloads such as
+// simulation campaigns pass Hooks[struct{}]{}).
+type Hooks[W any] struct {
+	// NewWorker returns the state one worker owns (e.g. a leased warm
+	// evaluator). Called once per worker goroutine.
+	NewWorker func() W
+	// ResetWorker clears any cross-chunk state (e.g. LP warm-start bases)
+	// at every chunk boundary, before do runs on the chunk.
+	ResetWorker func(W)
+	// CloseWorker releases the state when the worker exits (e.g. returns
+	// the evaluator to its pool). Runs even when the run halts early.
+	CloseWorker func(W)
+}
+
+func (h Hooks[W]) newWorker() W {
+	if h.NewWorker != nil {
+		return h.NewWorker()
+	}
+	var zero W
+	return zero
+}
+
+func (h Hooks[W]) reset(w W) {
+	if h.ResetWorker != nil {
+		h.ResetWorker(w)
+	}
+}
+
+func (h Hooks[W]) close(w W) {
+	if h.CloseWorker != nil {
+		h.CloseWorker(w)
+	}
+}
+
+// CoreOptions tunes a generic run.
+type CoreOptions struct {
+	// Workers bounds the goroutines evaluating chunks; non-positive means
+	// GOMAXPROCS. The worker count affects scheduling only — results are
+	// bit-identical for every value.
+	Workers int
+	// ChunkSize is the number of consecutive points one worker evaluates
+	// per claim; non-positive means ChunkSize (64). Pick it per workload —
+	// 1 for heavyweight points like whole simulation runs — but never
+	// derive it from Workers: chunk boundaries are the worker-state reset
+	// points, so determinism across worker counts depends on them being
+	// fixed.
+	ChunkSize int
+}
+
+func (o CoreOptions) workers() int {
+	return Options{Workers: o.Workers}.workers()
+}
+
+func (o CoreOptions) chunkSize() int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	return ChunkSize
+}
+
+// RunCore evaluates n indexed points with per-worker state W. do(w, start,
+// end) evaluates the contiguous chunk [start, end) — freshly reset via
+// Hooks.ResetWorker — and must write its results into caller-owned,
+// index-addressed storage; emit(start, end), when non-nil, is invoked for
+// completed chunks in strictly ascending order (the streaming sink). A do or
+// emit error, or context cancellation, halts the run within one chunk per
+// worker.
+//
+// RunCore returns the length of the contiguous prefix of points whose chunks
+// completed (and, when emit is set, were emitted) without error — n on
+// success — plus the first error in enumeration order, with context errors
+// taking precedence.
+func RunCore[W any](ctx context.Context, n int, opts CoreOptions, hooks Hooks[W], do func(w W, start, end int) error, emit func(start, end int) error) (int, error) {
+	if n <= 0 {
+		return 0, ctxErr(ctx)
+	}
+	cs := opts.chunkSize()
+	nChunks := (n + cs - 1) / cs
+	workers := opts.workers()
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		return runCoreSequential(ctx, n, nChunks, cs, hooks, do, emit)
+	}
+
+	var halted atomic.Bool
+	haltCh := make(chan struct{})
+	var haltOnce sync.Once
+	halt := func() {
+		haltOnce.Do(func() {
+			halted.Store(true)
+			close(haltCh)
+		})
+	}
+	stop := func() bool { return false }
+	if ctx != nil && ctx.Done() != nil {
+		stop = context.AfterFunc(ctx, halt)
+	}
+	defer stop()
+
+	// tickets bounds how far computation may run ahead of the emitter: a
+	// worker takes one ticket per chunk claim and the emitter returns it
+	// once the chunk has been streamed (or skipped past an error). This
+	// caps the reorder buffer — and with it the caller's live per-chunk
+	// result storage — at window chunks instead of the whole point set.
+	window := 2 * workers
+	if window < 4 {
+		window = 4
+	}
+	if window > nChunks {
+		window = nChunks
+	}
+	tickets := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tickets <- struct{}{}
+	}
+
+	var next atomic.Int64
+	chunkErr := make([]error, nChunks)
+	completions := make(chan int, nChunks)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := hooks.newWorker()
+			defer hooks.close(st)
+			for {
+				select {
+				case <-tickets:
+				case <-haltCh:
+					return
+				}
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				lo, hi := chunkBoundsOf(c, n, cs)
+				hooks.reset(st)
+				if err := do(st, lo, hi); err != nil {
+					chunkErr[c] = err
+					halt()
+				}
+				completions <- c
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(completions)
+	}()
+
+	// The calling goroutine is the emitter: it advances a cursor over the
+	// completed-chunk set and streams ready chunks in order, halting the
+	// pool on an emit error but always draining it. Each advanced chunk
+	// returns its backpressure ticket; ticket sends cannot block because at
+	// most window claims are outstanding. (After a halt the remaining
+	// tickets are irrelevant — workers exit via haltCh.)
+	done := make([]bool, nChunks)
+	nextEmit := 0
+	emitting := emit != nil
+	for c := range completions {
+		done[c] = true
+		for nextEmit < nChunks && done[nextEmit] && chunkErr[nextEmit] == nil {
+			if emitting {
+				lo, hi := chunkBoundsOf(nextEmit, n, cs)
+				if err := emit(lo, hi); err != nil {
+					chunkErr[nextEmit] = err
+					halt()
+					emitting = false
+					break
+				}
+			}
+			nextEmit++
+			tickets <- struct{}{}
+		}
+	}
+
+	prefix := nextEmit * cs
+	if prefix > n {
+		prefix = n
+	}
+	if err := ctxErr(ctx); err != nil {
+		return prefix, err
+	}
+	for _, err := range chunkErr {
+		if err != nil {
+			return prefix, err
+		}
+	}
+	return prefix, nil
+}
+
+// runCoreSequential is the single-worker path: same chunk boundaries and
+// worker-state resets as the pool, so its outputs are bit-identical, without
+// goroutine or channel overhead.
+func runCoreSequential[W any](ctx context.Context, n, nChunks, cs int, hooks Hooks[W], do func(w W, start, end int) error, emit func(start, end int) error) (int, error) {
+	st := hooks.newWorker()
+	defer hooks.close(st)
+	for c := 0; c < nChunks; c++ {
+		if err := ctxErr(ctx); err != nil {
+			return c * cs, err
+		}
+		lo, hi := chunkBoundsOf(c, n, cs)
+		hooks.reset(st)
+		if err := do(st, lo, hi); err != nil {
+			return lo, err
+		}
+		if emit != nil {
+			if err := emit(lo, hi); err != nil {
+				return lo, err
+			}
+		}
+	}
+	return n, nil
+}
+
+func chunkBoundsOf(c, n, cs int) (lo, hi int) {
+	lo = c * cs
+	hi = lo + cs
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

@@ -1,11 +1,18 @@
-// Package sweep is the sharded grid-evaluation core behind the facade's
-// SumRateBatch and Sweep and the figure harness in internal/experiments. It
-// splits an indexed point set into fixed-size chunks pulled by a worker
-// pool; each worker owns a warm protocols.Evaluator whose LP warm-start
-// state is reset at every chunk boundary, so the numbers a chunk produces
-// depend only on the chunk itself — results are bit-identical for every
-// worker count, and the streaming emit callback observes points in strict
+// Package sweep is the sharded execution core behind the facade's batch,
+// sweep, region and campaign APIs and the figure harness in
+// internal/experiments. The workload-generic machinery lives in RunCore
+// (core.go): an indexed point set is split into fixed-size chunks pulled by
+// a worker pool, each worker owning private state supplied by Hooks and
+// reset at every chunk boundary, so the numbers a chunk produces depend
+// only on the chunk itself — results are bit-identical for every worker
+// count, and the streaming emit callback observes points in strict
 // enumeration order regardless of completion order.
+//
+// This file instantiates the core for the evaluator-grid workloads (Run,
+// Batch, Sweep): each worker owns a warm protocols.Evaluator whose LP
+// warm-start state is the per-chunk reset. region.go instantiates it for
+// rate-region support sweeps; the facade instantiates it (stateless) for
+// simulation campaigns.
 //
 // Cancellation follows internal/sim's runGate pattern: a context.AfterFunc
 // flips one atomic flag the workers poll per chunk, so an uncancelled run
@@ -21,7 +28,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"bicoop/internal/protocols"
 )
@@ -92,6 +98,25 @@ func ctxErr(ctx context.Context) error {
 	return err
 }
 
+// evalHooks builds the warm-evaluator worker hooks shared by Run and
+// RegionBatch: each worker leases one evaluator from the pool with LP warm
+// starting enabled, the warm bases reset at every chunk boundary, and the
+// evaluator is returned (warm state dropped) when the worker exits.
+func evalHooks(pool Pool) Hooks[*protocols.Evaluator] {
+	return Hooks[*protocols.Evaluator]{
+		NewWorker: func() *protocols.Evaluator {
+			ev := pool.Get()
+			ev.SetWarmStart(true)
+			return ev
+		},
+		ResetWorker: func(ev *protocols.Evaluator) { ev.ResetWarmStart() },
+		CloseWorker: func(ev *protocols.Evaluator) {
+			ev.SetWarmStart(false) // drops warm state before re-pooling
+			pool.Put(ev)
+		},
+	}
+}
+
 // Run evaluates n indexed points. do(ev, start, end) evaluates the
 // contiguous chunk [start, end) with a warm evaluator (warm starting
 // enabled, reset at the chunk's start) and must write its results into
@@ -103,167 +128,7 @@ func ctxErr(ctx context.Context) error {
 // Run returns the length of the contiguous prefix of points whose chunks
 // completed (and, when emit is set, were emitted) without error — n on
 // success — plus the first error in enumeration order, with context errors
-// taking precedence.
+// taking precedence. It is the evaluator-typed instantiation of RunCore.
 func Run(ctx context.Context, n int, opts Options, do func(ev *protocols.Evaluator, start, end int) error, emit func(start, end int) error) (int, error) {
-	if n <= 0 {
-		return 0, ctxErr(ctx)
-	}
-	nChunks := (n + ChunkSize - 1) / ChunkSize
-	workers := opts.workers()
-	if workers > nChunks {
-		workers = nChunks
-	}
-	if workers <= 1 {
-		return runSequential(ctx, n, nChunks, opts, do, emit)
-	}
-
-	var halted atomic.Bool
-	haltCh := make(chan struct{})
-	var haltOnce sync.Once
-	halt := func() {
-		haltOnce.Do(func() {
-			halted.Store(true)
-			close(haltCh)
-		})
-	}
-	stop := func() bool { return false }
-	if ctx != nil && ctx.Done() != nil {
-		stop = context.AfterFunc(ctx, halt)
-	}
-	defer stop()
-
-	// tickets bounds how far computation may run ahead of the emitter: a
-	// worker takes one ticket per chunk claim and the emitter returns it
-	// once the chunk has been streamed (or skipped past an error). This
-	// caps the reorder buffer — and with it the caller's live per-chunk
-	// result storage — at window chunks instead of the whole grid.
-	window := 2 * workers
-	if window < 4 {
-		window = 4
-	}
-	if window > nChunks {
-		window = nChunks
-	}
-	tickets := make(chan struct{}, window)
-	for i := 0; i < window; i++ {
-		tickets <- struct{}{}
-	}
-
-	var next atomic.Int64
-	chunkErr := make([]error, nChunks)
-	completions := make(chan int, nChunks)
-	pool := opts.pool()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ev := pool.Get()
-			ev.SetWarmStart(true)
-			defer func() {
-				ev.SetWarmStart(false) // drops warm state before re-pooling
-				pool.Put(ev)
-			}()
-			for {
-				select {
-				case <-tickets:
-				case <-haltCh:
-					return
-				}
-				c := int(next.Add(1)) - 1
-				if c >= nChunks {
-					return
-				}
-				lo, hi := chunkBounds(c, n)
-				ev.ResetWarmStart()
-				if err := do(ev, lo, hi); err != nil {
-					chunkErr[c] = err
-					halt()
-				}
-				completions <- c
-			}
-		}()
-	}
-	go func() {
-		wg.Wait()
-		close(completions)
-	}()
-
-	// The calling goroutine is the emitter: it advances a cursor over the
-	// completed-chunk set and streams ready chunks in order, halting the
-	// pool on an emit error but always draining it. Each advanced chunk
-	// returns its backpressure ticket; ticket sends cannot block because at
-	// most window claims are outstanding. (After a halt the remaining
-	// tickets are irrelevant — workers exit via haltCh.)
-	done := make([]bool, nChunks)
-	nextEmit := 0
-	emitting := emit != nil
-	for c := range completions {
-		done[c] = true
-		for nextEmit < nChunks && done[nextEmit] && chunkErr[nextEmit] == nil {
-			if emitting {
-				lo, hi := chunkBounds(nextEmit, n)
-				if err := emit(lo, hi); err != nil {
-					chunkErr[nextEmit] = err
-					halt()
-					emitting = false
-					break
-				}
-			}
-			nextEmit++
-			tickets <- struct{}{}
-		}
-	}
-
-	prefix := nextEmit * ChunkSize
-	if prefix > n {
-		prefix = n
-	}
-	if err := ctxErr(ctx); err != nil {
-		return prefix, err
-	}
-	for _, err := range chunkErr {
-		if err != nil {
-			return prefix, err
-		}
-	}
-	return prefix, nil
-}
-
-// runSequential is the single-worker path: same chunk boundaries and
-// warm-start resets as the pool, so its outputs are bit-identical, without
-// goroutine or channel overhead.
-func runSequential(ctx context.Context, n, nChunks int, opts Options, do func(ev *protocols.Evaluator, start, end int) error, emit func(start, end int) error) (int, error) {
-	pool := opts.pool()
-	ev := pool.Get()
-	ev.SetWarmStart(true)
-	defer func() {
-		ev.SetWarmStart(false)
-		pool.Put(ev)
-	}()
-	for c := 0; c < nChunks; c++ {
-		if err := ctxErr(ctx); err != nil {
-			return c * ChunkSize, err
-		}
-		lo, hi := chunkBounds(c, n)
-		ev.ResetWarmStart()
-		if err := do(ev, lo, hi); err != nil {
-			return lo, err
-		}
-		if emit != nil {
-			if err := emit(lo, hi); err != nil {
-				return lo, err
-			}
-		}
-	}
-	return n, nil
-}
-
-func chunkBounds(c, n int) (lo, hi int) {
-	lo = c * ChunkSize
-	hi = lo + ChunkSize
-	if hi > n {
-		hi = n
-	}
-	return lo, hi
+	return RunCore(ctx, n, CoreOptions{Workers: opts.Workers}, evalHooks(opts.pool()), do, emit)
 }

@@ -58,6 +58,106 @@ func TestSumRateBatchBitIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestRegionBitIdenticalAcrossWorkers pins the region determinism contract
+// at the facade: every vertex of every curve of a RegionBatch — including
+// the warm-started simplex protocols — must be bit-identical (==) for every
+// Workers setting.
+func TestRegionBitIdenticalAcrossWorkers(t *testing.T) {
+	spec := bicoop.RegionBatchSpec{
+		Scenarios: []bicoop.Scenario{
+			{PowerDB: 0, GabDB: -7, GarDB: 0, GbrDB: 5},
+			{PowerDB: 10, GabDB: -7, GarDB: 0, GbrDB: 5},
+		},
+		Curves: []bicoop.RegionCurve{
+			{Protocol: bicoop.MABC, Bound: bicoop.Inner},
+			{Protocol: bicoop.TDBC, Bound: bicoop.Outer},
+			{Protocol: bicoop.HBC, Bound: bicoop.Inner},
+			{Protocol: bicoop.Naive4, Bound: bicoop.Inner},
+		},
+		Angles: 91,
+	}
+	ctx := context.Background()
+	collect := func(workers int) [][]bicoop.RatePoint {
+		t.Helper()
+		spec.Workers = workers
+		var out [][]bicoop.RatePoint
+		err := bicoop.NewEngine().RegionBatch(ctx, spec, func(pt bicoop.RegionBatchPoint) error {
+			out = append(out, pt.Region.Vertices())
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	ref := collect(1)
+	if len(ref) != spec.Size() {
+		t.Fatalf("got %d curves, want %d", len(ref), spec.Size())
+	}
+	for _, workers := range []int{2, 7} {
+		got := collect(workers)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d curves, want %d", workers, len(got), len(ref))
+		}
+		for c := range ref {
+			if len(got[c]) != len(ref[c]) {
+				t.Fatalf("workers=%d: curve %d has %d vertices, want %d", workers, c, len(got[c]), len(ref[c]))
+			}
+			for v := range ref[c] {
+				if got[c][v] != ref[c][v] { // == on both float fields
+					t.Fatalf("workers=%d: curve %d vertex %d = %+v, want %+v",
+						workers, c, v, got[c][v], ref[c][v])
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignBitIdenticalAcrossWorkers pins the campaign determinism
+// contract: the merged statistics of every run in a mixed fading/bit-true
+// campaign are identical for every outer worker count, because each spec
+// carries its own seed and a pinned inner worker count.
+func TestCampaignBitIdenticalAcrossWorkers(t *testing.T) {
+	scen := bicoop.Scenario{PowerDB: 5, GabDB: -7, GarDB: 0, GbrDB: 5}
+	links := bicoop.ErasureLinks{EpsAR: 0.2, EpsBR: 0.1, EpsAB: 0.6}
+	var specs []bicoop.SimSpec
+	for i := 0; i < 5; i++ {
+		specs = append(specs, bicoop.SimSpec{
+			Fading: &bicoop.FadingSpec{Scenario: scen, Target: bicoop.RatePoint{Ra: 0.5, Rb: 0.5}},
+			Trials: 120,
+			Seed:   int64(100 + i),
+		})
+		specs = append(specs, bicoop.SimSpec{
+			BitTrueTDBC: &bicoop.BitTrueTDBCSpec{Links: links, Rates: bicoop.RatePoint{Ra: 0.15, Rb: 0.15}, BlockLength: 400},
+			Trials:      6,
+			Seed:        int64(200 + i),
+			Workers:     3, // explicit inner sharding stays deterministic too
+		})
+	}
+	ctx := context.Background()
+	run := func(workers int) []bicoop.SimResult {
+		t.Helper()
+		res, err := bicoop.NewEngine().SimulateBatch(ctx, bicoop.CampaignSpec{Specs: specs, Workers: workers}, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res) != len(specs) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(res), len(specs))
+		}
+		return res
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 7} {
+		got := run(workers)
+		for i := range ref {
+			if !reflect.DeepEqual(got[i], ref[i]) {
+				t.Fatalf("workers=%d: campaign result %d differs:\n  got  %+v\n  want %+v",
+					workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
 // TestSweepAllBitIdenticalAcrossWorkers pins every SweepPoint field across
 // Workers settings, including the warm-started Naive4/HBC curves and the
 // erasure axis.

@@ -17,6 +17,7 @@ import (
 
 	"bicoop/internal/protocols"
 	"bicoop/internal/sim"
+	"bicoop/internal/sweep"
 )
 
 // ProgressFunc observes a simulation's completed trial count. Invocations
@@ -109,14 +110,12 @@ type SimResult struct {
 	Durations []float64
 }
 
-// Simulate runs the simulator selected by spec under the common run
-// contract. Cancelling ctx stops the worker pool within one trial (far
-// finer than shard granularity); the statistics over the trials completed
-// so far are returned alongside the context error, so callers can report
-// partial results.
-func (e *Engine) Simulate(ctx context.Context, spec SimSpec) (SimResult, error) {
+// validate checks the spec's shape and static fields without running it —
+// the shared up-front pass of Simulate and SimulateBatch, so a malformed
+// campaign fails before any trial runs.
+func (spec SimSpec) validate() error {
 	if spec.Trials < 0 {
-		return SimResult{}, fmt.Errorf("%w: %d", ErrInvalidTrials, spec.Trials)
+		return fmt.Errorf("%w: %d", ErrInvalidTrials, spec.Trials)
 	}
 	variants := 0
 	for _, set := range [...]bool{spec.Fading != nil, spec.BitTrueTDBC != nil, spec.BitTrueMABC != nil} {
@@ -125,12 +124,51 @@ func (e *Engine) Simulate(ctx context.Context, spec SimSpec) (SimResult, error) 
 		}
 	}
 	if variants != 1 {
-		return SimResult{}, fmt.Errorf("%w: %d simulators selected, want exactly 1", ErrInvalidSimSpec, variants)
+		return fmt.Errorf("%w: %d simulators selected, want exactly 1", ErrInvalidSimSpec, variants)
+	}
+	switch {
+	case spec.Fading != nil:
+		fs := spec.Fading
+		if err := fs.Scenario.Validate(); err != nil {
+			return err
+		}
+		if err := validateRatePoint(fs.Target); err != nil {
+			return err
+		}
+		for _, p := range fs.Protocols {
+			if _, err := p.internal(); err != nil {
+				return err
+			}
+		}
+	case spec.BitTrueTDBC != nil:
+		ts := spec.BitTrueTDBC
+		return validateBitTrueCommon(spec.Trials, ts.BlockLength, ts.Rates.Ra, ts.Rates.Rb)
+	default:
+		ms := spec.BitTrueMABC
+		return validateBitTrueCommon(spec.Trials, ms.BlockLength, ms.Rate)
+	}
+	return nil
+}
+
+// Simulate runs the simulator selected by spec under the common run
+// contract. Cancelling ctx stops the worker pool within one trial (far
+// finer than shard granularity); the statistics over the trials completed
+// so far are returned alongside the context error, so callers can report
+// partial results.
+func (e *Engine) Simulate(ctx context.Context, spec SimSpec) (SimResult, error) {
+	if err := spec.validate(); err != nil {
+		return SimResult{}, err
 	}
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = e.workers
 	}
+	return e.runSim(ctx, spec, workers)
+}
+
+// runSim dispatches a validated spec to its simulator with a resolved
+// worker count.
+func (e *Engine) runSim(ctx context.Context, spec SimSpec, workers int) (SimResult, error) {
 	progress := spec.Progress
 	switch {
 	case spec.Fading != nil:
@@ -155,14 +193,12 @@ func simWrap(err error) error {
 	return fmt.Errorf("bicoop: %w", err)
 }
 
+// The simulate* helpers below assume a spec that already passed validate()
+// — both entry points (Simulate and SimulateBatch) run it up front, so the
+// static checks live in exactly one place.
+
 func (e *Engine) simulateFading(ctx context.Context, spec SimSpec, workers int, progress ProgressFunc) (SimResult, error) {
 	fs := spec.Fading
-	if err := fs.Scenario.Validate(); err != nil {
-		return SimResult{}, err
-	}
-	if err := validateRatePoint(fs.Target); err != nil {
-		return SimResult{}, err
-	}
 	protosPub := fs.Protocols
 	if len(protosPub) == 0 {
 		protosPub = []Protocol{MABC, TDBC, HBC}
@@ -220,9 +256,6 @@ func validateBitTrueCommon(trials, blockLength int, rates ...float64) error {
 
 func (e *Engine) simulateBitTrueTDBC(ctx context.Context, spec SimSpec, workers int, progress ProgressFunc) (SimResult, error) {
 	ts := spec.BitTrueTDBC
-	if err := validateBitTrueCommon(spec.Trials, ts.BlockLength, ts.Rates.Ra, ts.Rates.Rb); err != nil {
-		return SimResult{}, err
-	}
 	res, runErr := sim.RunBitTrueTDBC(ctx, sim.BitTrueConfig{
 		Net:         sim.ErasureNetwork{EpsAR: ts.Links.EpsAR, EpsBR: ts.Links.EpsBR, EpsAB: ts.Links.EpsAB},
 		Rates:       protocols.RatePair{Ra: ts.Rates.Ra, Rb: ts.Rates.Rb},
@@ -247,11 +280,104 @@ func (e *Engine) simulateBitTrueTDBC(ctx context.Context, spec SimSpec, workers 
 	}, simWrap(runErr)
 }
 
+// CampaignSpec declares a simulation campaign: many SimSpecs — a waterfall
+// scale axis, a seed family, an SNR family, or any mix of simulators —
+// executed as one sharded batch over the same generic core that runs the
+// analytic grids.
+type CampaignSpec struct {
+	// Specs are the runs, executed with deterministic per-spec seeds (each
+	// spec's own Seed) so the campaign's merged statistics are bit-identical
+	// for every outer worker count.
+	Specs []SimSpec
+	// Workers bounds how many runs execute concurrently (the outer pool);
+	// zero uses the engine's WithWorkers default, then GOMAXPROCS. Inside a
+	// campaign, a spec whose own Workers field is zero runs its trials on
+	// ONE goroutine — not the engine default — so resharding the campaign
+	// (or moving it across machines) can never change a per-trial random
+	// stream. Set a spec's Workers explicitly to shard its trials; results
+	// then stay deterministic per (Seed, Trials, Workers) as usual.
+	//
+	// Progress caveat: each spec's Progress callback keeps its serialized,
+	// strictly-increasing contract within that spec's run, but with
+	// Workers > 1 DIFFERENT specs run concurrently — a single callback
+	// shared across specs is invoked from multiple goroutines at once and
+	// must be goroutine-safe. Give each spec its own Progress (or
+	// aggregate through the streamed yield, which is always serialized).
+	Workers int
+}
+
+// SimulateBatch executes a campaign. Completed results are streamed to
+// yield (when non-nil) in spec order regardless of completion order, and
+// the collected results are returned in the same order. A spec error halts
+// the campaign with the first error in spec order; cancelling ctx stops
+// every in-flight run within one trial. On early stop the returned slice
+// holds the contiguous prefix of fully completed runs (a run interrupted
+// mid-flight is discarded — campaign results are always whole runs).
+func (e *Engine) SimulateBatch(ctx context.Context, spec CampaignSpec, yield func(i int, r SimResult) error) ([]SimResult, error) {
+	if len(spec.Specs) == 0 {
+		return nil, fmt.Errorf("%w: campaign with no specs", ErrInvalidSimSpec)
+	}
+	for i, s := range spec.Specs {
+		if err := s.validate(); err != nil {
+			return nil, fmt.Errorf("spec %d: %w", i, err)
+		}
+	}
+	results := make([]SimResult, len(spec.Specs))
+	var yieldErr error
+	// ChunkSize 1: each point is a whole simulation run, so the outer pool
+	// pipelines runs individually. The specs are mutually independent and
+	// individually deterministic, so — unlike the warm-started LP grids —
+	// no per-chunk state exists and any chunking would only serialize runs.
+	prefix, err := sweep.RunCore(ctx, len(spec.Specs),
+		sweep.CoreOptions{Workers: e.campaignWorkers(spec.Workers), ChunkSize: 1},
+		sweep.Hooks[struct{}]{},
+		func(_ struct{}, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				s := spec.Specs[i]
+				workers := s.Workers
+				if workers <= 0 {
+					workers = 1 // campaign determinism default (see CampaignSpec.Workers)
+				}
+				res, err := e.runSim(ctx, s, workers)
+				if err != nil {
+					return fmt.Errorf("spec %d: %w", i, err)
+				}
+				results[i] = res
+			}
+			return nil
+		},
+		func(lo, hi int) error {
+			if yield == nil {
+				return nil
+			}
+			for i := lo; i < hi; i++ {
+				if err := yield(i, results[i]); err != nil {
+					yieldErr = err
+					return err
+				}
+			}
+			return nil
+		})
+	switch {
+	case err == nil:
+		return results[:prefix], nil
+	case yieldErr != nil && errors.Is(err, yieldErr):
+		return results[:prefix], yieldErr // the caller's own error, verbatim
+	default:
+		return results[:prefix], simWrap(err)
+	}
+}
+
+// campaignWorkers resolves the outer pool size of a campaign.
+func (e *Engine) campaignWorkers(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return e.workers
+}
+
 func (e *Engine) simulateBitTrueMABC(ctx context.Context, spec SimSpec, workers int, progress ProgressFunc) (SimResult, error) {
 	ms := spec.BitTrueMABC
-	if err := validateBitTrueCommon(spec.Trials, ms.BlockLength, ms.Rate); err != nil {
-		return SimResult{}, err
-	}
 	res, runErr := sim.RunBitTrueMABC(ctx, sim.MABCBitTrueConfig{
 		EpsMAC: ms.Links.EpsMAC, EpsRA: ms.Links.EpsRA, EpsRB: ms.Links.EpsRB,
 		Rate:        ms.Rate,
