@@ -6,11 +6,12 @@
 // Usage:
 //
 //	bcc list                            # list reproduction experiments
-//	bcc run <id> [-quick] [-seed N] [-artifacts dir] [-workers N] [-cpuprofile f]
-//	bcc all [-quick] [-workers N] [-cpuprofile f]
+//	bcc run <id> [-quick] [-seed N] [-artifacts dir] [-workers N] [-cpuprofile f] [-timeout d]
+//	bcc all [-quick] [-workers N] [-cpuprofile f] [-timeout d]
 //	bcc bounds  [-p dB] [-gab dB] [-gar dB] [-gbr dB]
 //	bcc region  [-proto P] [-bound inner|outer] [-p dB] [...gains] [-csv]
 //	bcc place   [-p dB] [-pos 0..1] [-gamma g]
+//	bcc sweep   [-powers lo:hi:step] [-places N] [-protos P,Q] [-o f.csv] [-checkpoint f] [-timeout d]
 //
 // Examples:
 //
@@ -18,21 +19,31 @@
 //	bcc run fig4b
 //	bcc bounds -p 10
 //	bcc region -proto HBC -bound inner -p 10 -csv
+//	bcc sweep -powers 0:20:0.5 -places 9 -o grid.csv -checkpoint grid.ck
+//
+// Interrupted runs exit 130 (Ctrl-C) or 124 (-timeout); partial output
+// already printed is valid. A sweep with -checkpoint resumes on rerun and
+// reproduces the exact artifact of an uninterrupted run.
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"bicoop"
 )
@@ -43,13 +54,32 @@ func main() {
 	// one trial, so whatever partial output was produced is still valid.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, os.Args[1:]); err != nil {
-		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "bcc: interrupted — partial results above are valid for the trials completed")
-			os.Exit(130)
-		}
+	err := run(ctx, os.Args[1:])
+	code, note := exitFor(err)
+	if note != "" {
+		fmt.Fprintln(os.Stderr, note)
+	} else if err != nil {
 		fmt.Fprintln(os.Stderr, "bcc:", err)
-		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// exitFor maps a run error to the conventional process exit code plus the
+// stderr note explaining it: 130 for Ctrl-C (SIGINT + 128), 124 for a
+// -timeout expiry (the timeout(1) convention), 1 for everything else. Both
+// early-stop codes come with partial results already printed — the sharded
+// runs stop on chunk boundaries, so everything streamed before the stop is
+// complete and valid.
+func exitFor(err error) (code int, note string) {
+	switch {
+	case err == nil:
+		return 0, ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return 124, "bcc: timed out — partial results above are valid; rerun with -checkpoint to resume a sweep"
+	case errors.Is(err, context.Canceled):
+		return 130, "bcc: interrupted — partial results above are valid for the trials completed"
+	default:
+		return 1, ""
 	}
 }
 
@@ -75,6 +105,8 @@ func run(ctx context.Context, args []string) error {
 		return cmdRegion(ctx, args[1:])
 	case "place":
 		return cmdPlace(ctx, args[1:])
+	case "sweep":
+		return cmdSweep(ctx, args[1:])
 	case "escape":
 		return cmdEscape(args[1:])
 	case "penalty":
@@ -98,6 +130,7 @@ subcommands:
   bounds   per-protocol optimal sum rates for a scenario
   region   rate-region vertices for one protocol bound
   place    per-protocol sum rates for a relay placed on the a-b segment
+  sweep    evaluate a power x placement x protocol grid to CSV, resumable via -checkpoint
   escape   achievable HBC points beyond BOTH the MABC and TDBC outer bounds
   penalty  half-duplex penalty vs the full-duplex DF ceiling, plus AF
 `)
@@ -181,6 +214,21 @@ func cmdList() error {
 	return nil
 }
 
+// timeoutFlag registers the shared -timeout flag: a wall-clock bound on the
+// run context. An expired run exits 124 with its partial output intact.
+func timeoutFlag(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("timeout", 0, "stop after this duration, exit 124 (0 = no limit); partial output stays valid")
+}
+
+// withDeadline applies a -timeout value to the run context; zero leaves the
+// context unbounded.
+func withDeadline(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
 // perfFlags registers the shared performance flags: -workers caps the
 // process's parallelism (GOMAXPROCS, which also bounds the Monte Carlo
 // worker pools) and -cpuprofile writes a pprof CPU profile of the run.
@@ -217,6 +265,7 @@ func cmdRun(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	artifacts := fs.String("artifacts", "", "also write <dir>/<id>.txt and <dir>/<id>.csv canonical artifacts")
 	workers, cpuprofile := perfFlags(fs)
+	timeout := timeoutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -228,6 +277,8 @@ func cmdRun(ctx context.Context, args []string) error {
 	if err := fs.Parse(fs.Args()[1:]); err != nil {
 		return err
 	}
+	ctx, cancel := withDeadline(ctx, *timeout)
+	defer cancel()
 	return withPerf(*workers, *cpuprofile, func() error {
 		if *artifacts == "" {
 			return eng.RunExperiment(ctx, id, *quick, *seed, os.Stdout)
@@ -265,15 +316,18 @@ func cmdAll(ctx context.Context, args []string) error {
 	quick := fs.Bool("quick", false, "reduced resolution for a fast run")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	workers, cpuprofile := perfFlags(fs)
+	timeout := timeoutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := withDeadline(ctx, *timeout)
+	defer cancel()
 	return withPerf(*workers, *cpuprofile, func() error {
 		ids := bicoop.Experiments()
 		for i, id := range ids {
 			if err := eng.RunExperiment(ctx, id, *quick, *seed, os.Stdout); err != nil {
-				if errors.Is(err, context.Canceled) {
-					fmt.Printf("\n(interrupted after %d of %d experiments)\n", i, len(ids))
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					fmt.Printf("\n(stopped after %d of %d experiments)\n", i, len(ids))
 				}
 				return err
 			}
@@ -381,6 +435,222 @@ func cmdPlace(ctx context.Context, args []string) error {
 		fmt.Printf("%-8s %10.4f\n", pt.Protocol, pt.Result.Sum)
 		return nil
 	})
+}
+
+// cmdSweep evaluates a power × placement × protocol grid and streams it as
+// CSV — the CLI face of Engine.Sweep, and the resilience showcase: -timeout
+// bounds the run (exit 124), -retries arms the chunk retry policy, and
+// -checkpoint makes the sweep resumable. An interrupted checkpointed sweep,
+// rerun with the same arguments, picks up where the delivered prefix ended
+// and the final CSV is byte-identical to an uninterrupted run's.
+func cmdSweep(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	gab := fs.Float64("gab", -7, "direct link gain Gab in dB (base gains, and reference for -places)")
+	gar := fs.Float64("gar", 0, "a-relay link gain Gar in dB (base gains)")
+	gbr := fs.Float64("gbr", 5, "b-relay link gain Gbr in dB (base gains)")
+	powers := fs.String("powers", "0:20:1", "power axis in dB: lo:hi:step or a comma list")
+	places := fs.Int("places", 0, "relay placements spread over the a-b segment (0 = evaluate the base gains)")
+	gamma := fs.Float64("gamma", 3, "path-loss exponent for -places")
+	protos := fs.String("protos", "", "comma-separated protocols (default: all five)")
+	boundName := fs.String("bound", "inner", "bound: inner or outer")
+	out := fs.String("o", "", "write CSV to this file (default stdout)")
+	ckPath := fs.String("checkpoint", "", "checkpoint file enabling resume across reruns; requires -o")
+	workers := fs.Int("workers", 0, "goroutines sharding the grid (0 = GOMAXPROCS)")
+	retries := fs.Int("retries", 0, "retry failed chunks up to this many attempts (0 = fail fast)")
+	timeout := timeoutFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := bicoop.SweepSpec{Base: bicoop.Scenario{GabDB: *gab, GarDB: *gar, GbrDB: *gbr}, Workers: *workers}
+	var err error
+	if spec.PowersDB, err = parsePowers(*powers); err != nil {
+		return err
+	}
+	for i := 0; i < *places; i++ {
+		pos := 0.5
+		if *places > 1 {
+			pos = 0.05 + 0.9*float64(i)/float64(*places-1)
+		}
+		spec.Placements = append(spec.Placements, bicoop.RelayPlacement{Pos: pos, Exponent: *gamma, GabDB: *gab})
+	}
+	if *protos != "" {
+		for _, name := range strings.Split(*protos, ",") {
+			p, err := parseProtocol(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			spec.Protocols = append(spec.Protocols, p)
+		}
+	}
+	switch strings.ToLower(*boundName) {
+	case "inner":
+	case "outer":
+		spec.Bound = bicoop.Outer
+	default:
+		return fmt.Errorf("unknown bound %q", *boundName)
+	}
+	if *retries > 0 {
+		spec.Retry = &bicoop.RetryPolicy{MaxAttempts: *retries}
+	}
+	ctx, cancel := withDeadline(ctx, *timeout)
+	defer cancel()
+	return runSweepCSV(ctx, spec, *out, *ckPath)
+}
+
+// parsePowers parses the power axis: "lo:hi:step" (inclusive) or a comma
+// list of dB values.
+func parsePowers(s string) ([]float64, error) {
+	if parts := strings.Split(s, ":"); len(parts) == 3 {
+		var lo, hi, step float64
+		for i, dst := range []*float64{&lo, &hi, &step} {
+			v, err := strconv.ParseFloat(strings.TrimSpace(parts[i]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("-powers %q: %w", s, err)
+			}
+			*dst = v
+		}
+		if step <= 0 || hi < lo {
+			return nil, fmt.Errorf("-powers %q: need lo <= hi and step > 0", s)
+		}
+		var out []float64
+		// Index-stepped so resumed runs rebuild the identical axis (no
+		// accumulated float drift).
+		for i := 0; ; i++ {
+			p := lo + float64(i)*step
+			if p > hi+1e-9 {
+				return out, nil
+			}
+			out = append(out, p)
+		}
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-powers %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// sweepCheckpoint is the bcc sweep resume state: the engine's watermark (in
+// points) plus the CSV byte offset the watermarked prefix ends at. Offset
+// makes resume robust to a kill between a yield and its checkpoint save —
+// the rerun truncates the CSV back to the offset the watermark vouches for,
+// so rows past it (delivered but never checkpointed) are rewritten rather
+// than duplicated.
+type sweepCheckpoint struct {
+	Watermark int   `json:"watermark"`
+	Offset    int64 `json:"offset"`
+}
+
+func loadSweepCheckpoint(path string) (sweepCheckpoint, error) {
+	var ck sweepCheckpoint
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return ck, nil // fresh run
+	}
+	if err != nil {
+		return ck, err
+	}
+	if err := json.Unmarshal(data, &ck); err != nil || ck.Watermark < 0 || ck.Offset < 0 {
+		return ck, fmt.Errorf("corrupt checkpoint %s (delete it to start fresh)", path)
+	}
+	return ck, nil
+}
+
+// csvSink owns the sweep's CSV stream and, when checkpointing, persists
+// {watermark, offset} atomically each time the engine's watermark advances —
+// after flushing the rows the watermark covers, so a saved checkpoint never
+// points past what is durably in the file.
+type csvSink struct {
+	f      *os.File // nil when streaming to stdout
+	buf    *bufio.Writer
+	ckPath string
+}
+
+func (s *csvSink) Save(watermark int) error {
+	if err := s.buf.Flush(); err != nil {
+		return err
+	}
+	off, err := s.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(sweepCheckpoint{Watermark: watermark, Offset: off})
+	if err != nil {
+		return err
+	}
+	tmp := s.ckPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.ckPath)
+}
+
+// runSweepCSV streams the sweep as CSV, wiring the checkpoint/resume recipe
+// when ckPath is set.
+func runSweepCSV(ctx context.Context, spec bicoop.SweepSpec, out, ckPath string) error {
+	sink := &csvSink{}
+	if ckPath != "" {
+		if out == "" {
+			return fmt.Errorf("-checkpoint requires -o (resume needs to truncate and append the output file)")
+		}
+		ck, err := loadSweepCheckpoint(ckPath)
+		if err != nil {
+			return err
+		}
+		if ck.Watermark > 0 {
+			f, err := os.OpenFile(out, os.O_RDWR, 0o644)
+			if err != nil {
+				return fmt.Errorf("checkpoint %s expects output %s: %w (delete the checkpoint to start fresh)", ckPath, out, err)
+			}
+			if err := f.Truncate(ck.Offset); err != nil {
+				f.Close()
+				return err
+			}
+			if _, err := f.Seek(ck.Offset, io.SeekStart); err != nil {
+				f.Close()
+				return err
+			}
+			sink.f = f
+			spec.Start = ck.Watermark
+		}
+	}
+	if sink.f == nil && out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		sink.f = f
+	}
+	var w io.Writer = os.Stdout
+	if sink.f != nil {
+		defer sink.f.Close()
+		w = sink.f
+	}
+	sink.buf = bufio.NewWriter(w)
+	if ckPath != "" {
+		sink.ckPath = ckPath
+		spec.Checkpoint = sink
+	}
+	if spec.Start == 0 {
+		fmt.Fprintln(sink.buf, "index,power_db,gab_db,gar_db,gbr_db,protocol,bound,ra,rb,sum")
+	}
+	runErr := eng.Sweep(ctx, spec, func(pt bicoop.SweepPoint) error {
+		_, err := fmt.Fprintf(sink.buf, "%d,%g,%g,%g,%g,%s,%s,%.12g,%.12g,%.12g\n",
+			pt.Index, pt.PowerDB, pt.Scenario.GabDB, pt.Scenario.GarDB, pt.Scenario.GbrDB,
+			pt.Protocol, pt.Bound, pt.Result.Point.Ra, pt.Result.Point.Rb, pt.Result.Sum)
+		return err
+	})
+	// Flush whatever streamed before a stop: rows past the last checkpoint
+	// are still valid partial output, and a resume truncates them away
+	// before rewriting.
+	if err := sink.buf.Flush(); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
 }
 
 func parseProtocol(name string) (bicoop.Protocol, error) {

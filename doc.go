@@ -85,6 +85,54 @@
 // cancellation and progress reporting. The machinery lives under internal/
 // (see DESIGN.md for the system inventory).
 //
+// # Resilience
+//
+// Production-scale sweeps meet transient failure: flaky infrastructure, a
+// workload panic, an evicted process. The streaming specs (SweepSpec,
+// RegionBatchSpec, CampaignSpec) share three resilience primitives, built
+// into the sharded core so every guarantee below composes with the
+// bit-identical-across-Workers contract.
+//
+// Panic containment: a panic inside a worker never crashes the process. It
+// is recovered per chunk and surfaced as a *ChunkError wrapping a
+// *PanicError (recovered value + stack), reachable through errors.As on the
+// returned error.
+//
+// Retry: a spec's Retry field re-runs failed chunks — MaxAttempts bounds
+// the tries, BaseDelay/MaxDelay shape a capped exponential backoff whose
+// jitter is derived deterministically from the chunk index, and IsTransient
+// classifies which errors are worth retrying (nil retries everything except
+// context cancellation). Between attempts the failed worker's state is torn
+// down and recreated through the same hooks that built it, so a chunk that
+// succeeds on attempt 3 produces exactly the bits it would have produced on
+// attempt 1:
+//
+//	spec.Retry = &bicoop.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond}
+//
+// Checkpoint/resume: a spec's Checkpoint field observes the resume
+// watermark — the contiguous prefix of results already delivered to the
+// caller, in the spec's own yield units (points, curves, or runs) — and the
+// Start field resumes a later run past it. Saves fire only after the
+// corresponding yields returned, so a watermark never overstates delivery,
+// and the concatenated yields of an interrupted run plus its resume equal
+// an uninterrupted run's exactly:
+//
+//	ck := &bicoop.FileCheckpoint{Path: "sweep.ck"}
+//	spec.Checkpoint = ck
+//	spec.Start, _ = ck.Load() // 0 on the first run
+//	err := eng.Sweep(ctx, spec, writeRow)
+//
+// The CLI packages the recipe: `bcc sweep -o grid.csv -checkpoint grid.ck`
+// persists {watermark, CSV byte offset} atomically as the sweep streams, a
+// rerun truncates the CSV to the checkpointed offset and resumes from the
+// watermark, and the finished file is byte-identical to an uninterrupted
+// run's — through any number of Ctrl-C, -timeout (exit 124), or kill -9
+// interruptions. Deterministic fault injection for testing retry paths
+// lives in internal/sweep/chaos: it wraps a workload with seed-keyed
+// transient/permanent faults and panics, every injection a pure function of
+// (seed, chunk, attempt), so a chaos-wrapped run retried to completion is
+// asserted bit-identical to a fault-free one at every worker count.
+//
 // # Performance and profiling
 //
 // Every reported quantity reduces to a tiny phase-duration LP per scenario,

@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFaultScheduleDeterministic pins that the fault schedule is a pure
+// function of (Seed, chunk start): two injectors with the same seed agree on
+// every chunk, and the schedule survives Reset.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	a := &Injector{Seed: 42, TransientRate: 0.3, MaxFaults: 3}
+	b := &Injector{Seed: 42, TransientRate: 0.3, MaxFaults: 3}
+	for lo := 0; lo < 4096; lo += 64 {
+		if a.faults(lo) != b.faults(lo) {
+			t.Fatalf("chunk %d: schedules disagree between same-seed injectors", lo)
+		}
+	}
+	before := a.faults(128)
+	a.Reset()
+	if a.faults(128) != before {
+		t.Error("Reset must not change the fault schedule, only the attempt counters")
+	}
+}
+
+// TestFaultRate sanity-checks that the configured rate roughly matches the
+// fraction of faulted chunks.
+func TestFaultRate(t *testing.T) {
+	inj := &Injector{Seed: 1, TransientRate: 0.2}
+	faulted := 0
+	const chunks = 2000
+	for c := 0; c < chunks; c++ {
+		if inj.faults(c*64) > 0 {
+			faulted++
+		}
+	}
+	got := float64(faulted) / chunks
+	if got < 0.15 || got > 0.25 {
+		t.Errorf("fault rate %.3f, want ~0.2", got)
+	}
+}
+
+// TestSeedVariesSchedule pins that distinct seeds give distinct schedules.
+func TestSeedVariesSchedule(t *testing.T) {
+	a := &Injector{Seed: 1, TransientRate: 0.5}
+	b := &Injector{Seed: 2, TransientRate: 0.5}
+	same := true
+	for lo := 0; lo < 64*64; lo += 64 {
+		if a.faults(lo) != b.faults(lo) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical schedules over 64 chunks")
+	}
+}
+
+// TestWrapTransientThenClean pins the attempt progression: a faulted chunk's
+// first attempt(s) return ErrInjected, then the wrapped do runs.
+func TestWrapTransientThenClean(t *testing.T) {
+	inj := &Injector{Seed: 3, TransientRate: 1, MaxFaults: 2}
+	ran := 0
+	do := Wrap(inj, func(_ struct{}, lo, hi int) error { ran++; return nil })
+	for a := 1; a <= 2; a++ {
+		if err := do(struct{}{}, 0, 64); !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d: err = %v, want ErrInjected", a, err)
+		}
+	}
+	if err := do(struct{}{}, 0, 64); err != nil || ran != 1 {
+		t.Fatalf("attempt 3: err = %v ran = %d, want clean pass-through", err, ran)
+	}
+}
+
+// TestWrapPermanent pins that permanent faults hit every attempt and are not
+// classified transient.
+func TestWrapPermanent(t *testing.T) {
+	inj := &Injector{Seed: 3, PermanentStarts: []int{64}}
+	do := Wrap(inj, func(_ struct{}, lo, hi int) error { return nil })
+	for a := 0; a < 3; a++ {
+		err := do(struct{}{}, 64, 128)
+		if !errors.Is(err, ErrPermanent) {
+			t.Fatalf("attempt %d: err = %v, want ErrPermanent", a+1, err)
+		}
+		if Transient(err) {
+			t.Fatal("ErrPermanent must not classify as transient")
+		}
+	}
+	if err := do(struct{}{}, 0, 64); err != nil {
+		t.Errorf("unlisted chunk faulted: %v", err)
+	}
+}
+
+// TestWrapPanicOnce pins that an injected panic fires on the first attempt
+// only — it models a transient crash a retry clears.
+func TestWrapPanicOnce(t *testing.T) {
+	inj := &Injector{Seed: 3, PanicStarts: []int{0}}
+	do := Wrap(inj, func(_ struct{}, lo, hi int) error { return nil })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("first attempt did not panic")
+			}
+		}()
+		_ = do(struct{}{}, 0, 64)
+	}()
+	if err := do(struct{}{}, 0, 64); err != nil {
+		t.Errorf("second attempt: %v, want clean", err)
+	}
+}
+
+// TestTransientClassifier pins the classifier against wrapped and foreign
+// errors.
+func TestTransientClassifier(t *testing.T) {
+	if !Transient(ErrInjected) {
+		t.Error("ErrInjected must be transient")
+	}
+	if Transient(errors.New("io timeout")) {
+		t.Error("foreign errors must not be transient")
+	}
+}

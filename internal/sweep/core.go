@@ -80,6 +80,21 @@ type CoreOptions struct {
 	// points, so determinism across worker counts depends on them being
 	// fixed.
 	ChunkSize int
+	// Start resumes a run: points [0, Start) are assumed already evaluated
+	// and emitted by an earlier run, so neither do nor emit sees them.
+	// Start is floored to a chunk boundary (any watermark a Checkpointer
+	// saved already is one); the returned prefix still counts from 0 and
+	// includes the skipped points.
+	Start int
+	// Checkpoint, when non-nil, persists the emitter's watermark — the
+	// contiguous emitted point prefix — each time it advances. A Save
+	// error halts the run like an emit error. Feed the last saved value
+	// back as Start to resume.
+	Checkpoint Checkpointer
+	// Retry re-runs failed chunks per the policy, recreating the worker's
+	// state W through the run's Hooks between attempts; nil fails fast on
+	// the first error. See RetryPolicy.
+	Retry *RetryPolicy
 }
 
 func (o CoreOptions) workers() int {
@@ -101,6 +116,12 @@ func (o CoreOptions) chunkSize() int {
 // emit error, or context cancellation, halts the run within one chunk per
 // worker.
 //
+// Failures are contained per chunk: a do error (including a recovered
+// workload panic, surfaced as a *PanicError) is reported as a *ChunkError,
+// and opts.Retry re-runs transiently failed chunks with fresh worker state.
+// opts.Start resumes past an already-emitted prefix and opts.Checkpoint
+// persists the emitted watermark as it advances (see CoreOptions).
+//
 // RunCore returns the length of the contiguous prefix of points whose chunks
 // completed (and, when emit is set, were emitted) without error — n on
 // success — plus the first error in enumeration order, with context errors
@@ -111,12 +132,22 @@ func RunCore[W any](ctx context.Context, n int, opts CoreOptions, hooks Hooks[W]
 	}
 	cs := opts.chunkSize()
 	nChunks := (n + cs - 1) / cs
+	startChunk := 0
+	if opts.Start > 0 {
+		if opts.Start >= n {
+			// The watermark already covers every point; nothing to run.
+			return n, ctxErr(ctx)
+		}
+		// Resume point: floor to a chunk boundary so the skipped prefix is
+		// exactly a set of whole chunks (saved watermarks already are).
+		startChunk = opts.Start / cs
+	}
 	workers := opts.workers()
-	if workers > nChunks {
-		workers = nChunks
+	if workers > nChunks-startChunk {
+		workers = nChunks - startChunk
 	}
 	if workers <= 1 {
-		return runCoreSequential(ctx, n, nChunks, cs, hooks, do, emit)
+		return runCoreSequential(ctx, n, nChunks, cs, startChunk, opts, hooks, do, emit)
 	}
 
 	var halted atomic.Bool
@@ -143,8 +174,8 @@ func RunCore[W any](ctx context.Context, n int, opts CoreOptions, hooks Hooks[W]
 	if window < 4 {
 		window = 4
 	}
-	if window > nChunks {
-		window = nChunks
+	if window > nChunks-startChunk {
+		window = nChunks - startChunk
 	}
 	tickets := make(chan struct{}, window)
 	for i := 0; i < window; i++ {
@@ -152,15 +183,16 @@ func RunCore[W any](ctx context.Context, n int, opts CoreOptions, hooks Hooks[W]
 	}
 
 	var next atomic.Int64
+	next.Store(int64(startChunk))
 	chunkErr := make([]error, nChunks)
-	completions := make(chan int, nChunks)
+	completions := make(chan int, nChunks-startChunk)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			st := hooks.newWorker()
-			defer hooks.close(st)
+			defer func() { hooks.close(st) }()
 			for {
 				select {
 				case <-tickets:
@@ -172,8 +204,7 @@ func RunCore[W any](ctx context.Context, n int, opts CoreOptions, hooks Hooks[W]
 					return
 				}
 				lo, hi := chunkBoundsOf(c, n, cs)
-				hooks.reset(st)
-				if err := do(st, lo, hi); err != nil {
+				if err := runChunkAttempts(ctx, hooks, &st, opts.Retry, c, lo, hi, do); err != nil {
 					chunkErr[c] = err
 					halt()
 				}
@@ -193,10 +224,12 @@ func RunCore[W any](ctx context.Context, n int, opts CoreOptions, hooks Hooks[W]
 	// most window claims are outstanding. (After a halt the remaining
 	// tickets are irrelevant — workers exit via haltCh.)
 	done := make([]bool, nChunks)
-	nextEmit := 0
+	nextEmit := startChunk
 	emitting := emit != nil
+	var ckErr error
 	for c := range completions {
 		done[c] = true
+		advanced := false
 		for nextEmit < nChunks && done[nextEmit] && chunkErr[nextEmit] == nil {
 			if emitting {
 				lo, hi := chunkBoundsOf(nextEmit, n, cs)
@@ -208,14 +241,18 @@ func RunCore[W any](ctx context.Context, n int, opts CoreOptions, hooks Hooks[W]
 				}
 			}
 			nextEmit++
+			advanced = true
 			tickets <- struct{}{}
+		}
+		if advanced && opts.Checkpoint != nil && ckErr == nil {
+			if err := opts.Checkpoint.Save(watermarkOf(nextEmit, n, cs)); err != nil {
+				ckErr = err
+				halt()
+			}
 		}
 	}
 
-	prefix := nextEmit * cs
-	if prefix > n {
-		prefix = n
-	}
+	prefix := watermarkOf(nextEmit, n, cs)
 	if err := ctxErr(ctx); err != nil {
 		return prefix, err
 	}
@@ -224,27 +261,40 @@ func RunCore[W any](ctx context.Context, n int, opts CoreOptions, hooks Hooks[W]
 			return prefix, err
 		}
 	}
-	return prefix, nil
+	return prefix, ckErr
+}
+
+// watermarkOf converts an emitted-chunk cursor to the emitted point prefix.
+func watermarkOf(nextEmit, n, cs int) int {
+	w := nextEmit * cs
+	if w > n {
+		w = n
+	}
+	return w
 }
 
 // runCoreSequential is the single-worker path: same chunk boundaries and
 // worker-state resets as the pool, so its outputs are bit-identical, without
 // goroutine or channel overhead.
-func runCoreSequential[W any](ctx context.Context, n, nChunks, cs int, hooks Hooks[W], do func(w W, start, end int) error, emit func(start, end int) error) (int, error) {
+func runCoreSequential[W any](ctx context.Context, n, nChunks, cs, startChunk int, opts CoreOptions, hooks Hooks[W], do func(w W, start, end int) error, emit func(start, end int) error) (int, error) {
 	st := hooks.newWorker()
-	defer hooks.close(st)
-	for c := 0; c < nChunks; c++ {
+	defer func() { hooks.close(st) }()
+	for c := startChunk; c < nChunks; c++ {
 		if err := ctxErr(ctx); err != nil {
 			return c * cs, err
 		}
 		lo, hi := chunkBoundsOf(c, n, cs)
-		hooks.reset(st)
-		if err := do(st, lo, hi); err != nil {
+		if err := runChunkAttempts(ctx, hooks, &st, opts.Retry, c, lo, hi, do); err != nil {
 			return lo, err
 		}
 		if emit != nil {
 			if err := emit(lo, hi); err != nil {
 				return lo, err
+			}
+		}
+		if opts.Checkpoint != nil {
+			if err := opts.Checkpoint.Save(watermarkOf(c+1, n, cs)); err != nil {
+				return watermarkOf(c+1, n, cs), err
 			}
 		}
 	}

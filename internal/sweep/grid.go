@@ -243,11 +243,18 @@ func Sweep(ctx context.Context, spec Spec, opts Options, yield func(Point) error
 		chunks[lo/ChunkSize] = buf
 		return nil
 	}
+	// On a resumed run the core floors opts.Start to a chunk boundary; the
+	// first emitted chunk may then straddle the resume point, so yields are
+	// additionally gated on the exact Start index — callers see points from
+	// precisely the first one a previous run never yielded.
 	emit := func(lo, hi int) error {
 		c := lo / ChunkSize
 		buf := chunks[c]
 		chunks[c] = nil // release as soon as the chunk is streamed
 		for i := lo; i < hi; i++ {
+			if i < opts.Start {
+				continue
+			}
 			if err := yield(buf[i-lo]); err != nil {
 				return err
 			}

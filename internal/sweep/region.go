@@ -34,6 +34,15 @@ type RegionSpec struct {
 	// Angles is the per-curve support-direction count; zero defaults to
 	// protocols.DefaultRegionAngles (181).
 	Angles int
+	// Start resumes the batch at curve index Start (scenario-major
+	// enumeration): earlier curves are assumed already yielded by a
+	// previous run and are neither recomputed nor yielded again.
+	Start int
+	// Checkpoint, when non-nil, observes the contiguous yielded curve
+	// count as it advances — curve units, unlike the point-level
+	// Options.Checkpoint, which RegionBatch overrides. Feed the last saved
+	// value back as Start to resume.
+	Checkpoint Checkpointer
 }
 
 // angles resolves the sweep resolution.
@@ -92,6 +101,26 @@ func RegionBatch(ctx context.Context, spec RegionSpec, opts Options, yield func(
 	n := nCurves * perCurve
 	pts := make([]region.Point, n)
 
+	// Resume + checkpoint in curve units: the point-level start is the
+	// resumed curve's first flattened index (the core floors it to a chunk
+	// boundary, re-solving at most one chunk of directions below it, so
+	// every direction of every unyielded curve is computed), and the
+	// point-level watermark is translated back to whole curves before it
+	// reaches the caller's Checkpointer.
+	startCurve := spec.Start
+	if startCurve < 0 {
+		startCurve = 0
+	}
+	if startCurve > nCurves {
+		startCurve = nCurves
+	}
+	opts.Start = startCurve * perCurve
+	if spec.Checkpoint != nil {
+		opts.Checkpoint = &curveCheckpoint{inner: spec.Checkpoint, perCurve: perCurve, last: startCurve}
+	} else {
+		opts.Checkpoint = nil
+	}
+
 	do := func(ev *protocols.Evaluator, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			k, j := i/perCurve, i%perCurve
@@ -123,7 +152,7 @@ func RegionBatch(ctx context.Context, spec RegionSpec, opts Options, yield func(
 		}
 		return nil
 	}
-	nextCurve := 0
+	nextCurve := startCurve
 	emit := func(lo, hi int) error {
 		for ; (nextCurve+1)*perCurve <= hi; nextCurve++ {
 			base := nextCurve * perCurve
@@ -144,4 +173,22 @@ func RegionBatch(ctx context.Context, spec RegionSpec, opts Options, yield func(
 	}
 	_, err := Run(ctx, n, opts, do, emit)
 	return err
+}
+
+// curveCheckpoint adapts a curve-unit Checkpointer to the core's point-level
+// watermark: saves fire only when another whole curve has been emitted. Only
+// the emitter goroutine calls Save, so last needs no locking.
+type curveCheckpoint struct {
+	inner    Checkpointer
+	perCurve int
+	last     int
+}
+
+func (c *curveCheckpoint) Save(watermark int) error {
+	curves := watermark / c.perCurve
+	if curves <= c.last {
+		return nil
+	}
+	c.last = curves
+	return c.inner.Save(curves)
 }

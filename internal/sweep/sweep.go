@@ -65,6 +65,13 @@ type Options struct {
 	Workers int
 	// Pool supplies worker evaluators; nil uses a package-level pool.
 	Pool Pool
+	// Start resumes a run past an already-emitted point prefix; Checkpoint
+	// persists the emitted watermark as it advances; Retry re-runs
+	// transiently failed chunks with fresh worker state. All three are
+	// forwarded to the core verbatim — see CoreOptions.
+	Start      int
+	Checkpoint Checkpointer
+	Retry      *RetryPolicy
 }
 
 func (o Options) pool() Pool {
@@ -130,5 +137,11 @@ func evalHooks(pool Pool) Hooks[*protocols.Evaluator] {
 // success — plus the first error in enumeration order, with context errors
 // taking precedence. It is the evaluator-typed instantiation of RunCore.
 func Run(ctx context.Context, n int, opts Options, do func(ev *protocols.Evaluator, start, end int) error, emit func(start, end int) error) (int, error) {
-	return RunCore(ctx, n, CoreOptions{Workers: opts.Workers}, evalHooks(opts.pool()), do, emit)
+	core := CoreOptions{
+		Workers:    opts.Workers,
+		Start:      opts.Start,
+		Checkpoint: opts.Checkpoint,
+		Retry:      opts.Retry,
+	}
+	return RunCore(ctx, n, core, evalHooks(opts.pool()), do, emit)
 }

@@ -53,6 +53,18 @@ type RegionBatchSpec struct {
 	// zero uses the engine's WithWorkers default. Results are bit-identical
 	// for every value.
 	Workers int
+	// Start resumes the batch past the first Start curves (scenario-major
+	// enumeration): an earlier run already yielded them, so they are not
+	// recomputed or yielded again. Feed a Checkpointer's last saved value
+	// back here.
+	Start int
+	// Checkpoint, when non-nil, observes the yielded-curve watermark as it
+	// advances — whole curves, the unit RegionBatch yields in (see
+	// Checkpointer). A Save error stops the batch.
+	Checkpoint Checkpointer
+	// Retry, when non-nil, re-runs transiently failed chunks of the angle
+	// axis on fresh evaluator state (see RetryPolicy).
+	Retry *RetryPolicy
 }
 
 // Size returns the number of curves the batch will yield.
@@ -87,7 +99,14 @@ func (e *Engine) RegionBatch(ctx context.Context, spec RegionBatchSpec, yield fu
 		return fmt.Errorf("%w: %d scenarios x %d curves (both axes need at least one entry)",
 			ErrInvalidRegionSpec, len(spec.Scenarios), len(spec.Curves))
 	}
-	ispec := sweep.RegionSpec{Angles: spec.Angles}
+	if err := validateResume(spec.Start, ErrInvalidRegionSpec); err != nil {
+		return err
+	}
+	ispec := sweep.RegionSpec{
+		Angles:     spec.Angles,
+		Start:      spec.Start,
+		Checkpoint: spec.Checkpoint,
+	}
 	for i, s := range spec.Scenarios {
 		if err := s.Validate(); err != nil {
 			return fmt.Errorf("scenario %d: %w", i, err)
@@ -101,8 +120,10 @@ func (e *Engine) RegionBatch(ctx context.Context, spec RegionBatchSpec, yield fu
 		}
 		ispec.Curves = append(ispec.Curves, sweep.RegionCurve{Proto: ip, Bound: ib})
 	}
+	opts := e.sweepOpts(spec.Workers)
+	opts.Retry = spec.Retry.internal()
 	var yieldErr error
-	err := sweep.RegionBatch(ctx, ispec, e.sweepOpts(spec.Workers), func(r sweep.RegionResult) error {
+	err := sweep.RegionBatch(ctx, ispec, opts, func(r sweep.RegionResult) error {
 		pub := RegionBatchPoint{
 			ScenarioIdx: r.ScenarioIdx,
 			CurveIdx:    r.CurveIdx,
@@ -124,7 +145,7 @@ func (e *Engine) RegionBatch(ctx context.Context, spec RegionBatchSpec, yield fu
 	case errors.Is(err, sweep.ErrSpec):
 		return fmt.Errorf("%w: %v", ErrInvalidRegionSpec, err)
 	default:
-		return fmt.Errorf("bicoop: %w", err)
+		return fmt.Errorf("bicoop: %w", translateResilience(err))
 	}
 }
 

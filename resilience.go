@@ -1,0 +1,178 @@
+package bicoop
+
+// resilience.go — the public face of the resilience layer in internal/sweep.
+// Long sweeps and campaigns are the workloads the library exists for, and at
+// production scale they meet transient failure: a flaky allocator, an
+// evicted node, a workload panic. The facade exposes the three resilience
+// primitives on every streaming spec (SweepSpec, RegionBatchSpec,
+// CampaignSpec):
+//
+//   - RetryPolicy re-runs a failed chunk with fresh worker state, with
+//     capped exponential backoff and deterministic jitter — a retried chunk
+//     produces results bit-identical to a first-attempt success, because
+//     worker state is recreated through the same hooks that built it;
+//   - Checkpointer observes the resume watermark (the contiguous prefix of
+//     delivered results) as it advances, and the spec's Start field resumes
+//     a later run past it — the concatenation of the two runs' yields is
+//     byte-identical to an uninterrupted run;
+//   - workload panics are contained per chunk and surfaced as a *ChunkError
+//     wrapping a *PanicError instead of crashing the process.
+//
+// See the "Resilience" section of the package documentation for the full
+// recipe.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"bicoop/internal/sweep"
+)
+
+// RetryPolicy re-runs failed chunks of a sweep, region batch or campaign.
+// Between attempts the failed worker's state is torn down and recreated (a
+// pooled evaluator is surrendered and a fresh one leased), so a retried
+// chunk is indistinguishable from one that succeeded first try and the
+// bit-identical-across-Workers guarantee survives retries. Context
+// cancellation and deadline expiry are never retried.
+type RetryPolicy struct {
+	// MaxAttempts bounds the tries per chunk (first run included);
+	// non-positive means 3.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry; each further retry
+	// doubles it, capped at MaxDelay (when positive). The actual delay adds
+	// up to 50% deterministic jitter derived from the chunk index, so
+	// concurrent retries de-synchronize identically on every run. Zero
+	// means retry immediately.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// IsTransient classifies errors worth retrying; nil retries every
+	// chunk error (context cancellation excepted).
+	IsTransient func(error) bool
+}
+
+// internal converts to the core policy; nil stays nil (fail fast).
+func (p *RetryPolicy) internal() *sweep.RetryPolicy {
+	if p == nil {
+		return nil
+	}
+	return &sweep.RetryPolicy{
+		MaxAttempts: p.MaxAttempts,
+		BaseDelay:   p.BaseDelay,
+		MaxDelay:    p.MaxDelay,
+		IsTransient: p.IsTransient,
+	}
+}
+
+// Checkpointer persists the resume watermark of a streaming run: the length
+// of the contiguous prefix of results already delivered to the caller. Save
+// is invoked from the yielding goroutine each time the watermark advances —
+// after the corresponding yields returned, so a saved watermark never
+// overstates what the caller received. A Save error halts the run.
+//
+// Watermark units follow the spec's yields: grid points for Engine.Sweep,
+// whole curves for Engine.RegionBatch, completed runs for
+// Engine.SimulateBatch. Feed the last saved value back as the spec's Start
+// field to resume.
+type Checkpointer interface {
+	Save(watermark int) error
+}
+
+// FileCheckpoint is a Checkpointer that stores the watermark in a file,
+// atomically (write-temp-then-rename), so a crash mid-save leaves the
+// previous watermark intact. The zero value is unusable; set Path.
+type FileCheckpoint struct {
+	// Path is the checkpoint file. Saves write Path+".tmp" and rename.
+	Path string
+}
+
+// Save atomically replaces the checkpoint file with the new watermark.
+func (c *FileCheckpoint) Save(watermark int) error {
+	tmp := c.Path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.Itoa(watermark)+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.Path)
+}
+
+// Load reads the last saved watermark; a missing file is watermark 0 (a
+// fresh run), so Load feeds straight into a spec's Start field.
+func (c *FileCheckpoint) Load() (int, error) {
+	data, err := os.ReadFile(c.Path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	w, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil || w < 0 {
+		return 0, fmt.Errorf("bicoop: corrupt checkpoint %s: %q", c.Path, data)
+	}
+	return w, nil
+}
+
+// ChunkError reports the failure of one chunk of a sharded run, after
+// retries (if a policy was set) were exhausted or declined. Err is the last
+// attempt's failure — errors.Is/As see through to it, so sentinel checks on
+// the underlying cause keep working.
+type ChunkError struct {
+	// Chunk is the chunk index; Start and End are its point range
+	// [Start, End) in the run's enumeration order.
+	Chunk, Start, End int
+	// Attempt is the 1-based attempt count the failure occurred on.
+	Attempt int
+	// Err is the underlying failure (a *PanicError for contained panics).
+	Err error
+}
+
+func (e *ChunkError) Error() string {
+	return fmt.Sprintf("chunk %d [%d,%d) attempt %d: %v", e.Chunk, e.Start, e.End, e.Attempt, e.Err)
+}
+
+func (e *ChunkError) Unwrap() error { return e.Err }
+
+// PanicError is a workload panic contained by the sharded core: the process
+// survives, the panic surfaces as an error inside a *ChunkError, and — with
+// a RetryPolicy that classifies it transient — the chunk is retried on
+// fresh worker state.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// translateResilience rewrites the internal chunk/panic error types into
+// their public equivalents so callers can errors.As against bicoop types.
+// The underlying cause chain is preserved.
+func translateResilience(err error) error {
+	var cerr *sweep.ChunkError
+	if !errors.As(err, &cerr) {
+		return err
+	}
+	inner := cerr.Err
+	var perr *sweep.PanicError
+	if errors.As(inner, &perr) {
+		inner = &PanicError{Value: perr.Value, Stack: perr.Stack}
+	}
+	return &ChunkError{
+		Chunk: cerr.Chunk, Start: cerr.Start, End: cerr.End,
+		Attempt: cerr.Attempt, Err: inner,
+	}
+}
+
+// validateResume rejects a negative Start with the given spec sentinel —
+// shared by the three resumable spec types.
+func validateResume(start int, sentinel error) error {
+	if start < 0 {
+		return fmt.Errorf("%w: negative Start %d", sentinel, start)
+	}
+	return nil
+}

@@ -8,9 +8,11 @@
 # evaluator solve per protocol, the Monte Carlo per-block kernel, and the
 # figure-level sweeps (Fig 3 relay placement, MABC/TDBC crossover, fading
 # Monte Carlo) — plus the bit-true path at two levels: full TDBC/MABC runs
-# (sequential and sharded) and the per-block kernels, and the engine facade
+# (sequential and sharded) and the per-block kernels, the engine facade
 # pair (Engine.SumRateBatch vs the same 1k-scenario grid through one-shot
-# calls). The bit-true full-run benchmarks already iterate 64 blocks
+# calls), and the sharded-core pair (RunCore bare vs resilience-armed —
+# retry policy + checkpointer on a zero-fault run — pinning the happy-path
+# price of the resilience layer). The bit-true full-run benchmarks already iterate 64 blocks
 # internally, so they get a smaller default -benchtime than the
 # microbenchmarks.
 set -eu
@@ -24,14 +26,21 @@ cd "$(dirname "$0")/.."
 # every alternative must match an existing benchmark, and every benchmark in the
 # ledger packages must either appear here or be explicitly exempted there — a new
 # benchmark cannot be dropped from the ledger silently.
-pattern='BenchmarkSimplexSolve$|BenchmarkEvaluatorSolve|BenchmarkEvaluatorFeasible$|BenchmarkOutageTrial$|BenchmarkSumRateLP$|BenchmarkFeasibility$|BenchmarkOutageBlock$|BenchmarkFig3$|BenchmarkSNRCrossover$|BenchmarkFadingOutage$|BenchmarkBitTrueTDBCBlock$|BenchmarkBitTrueMABCBlock$|BenchmarkEngineSumRateBatch$|BenchmarkEngineSweep$|BenchmarkOneShotSumRateBatch$|BenchmarkRegionParallel$|BenchmarkCampaign$'
+pattern='BenchmarkSimplexSolve$|BenchmarkEvaluatorSolve|BenchmarkEvaluatorFeasible$|BenchmarkOutageTrial$|BenchmarkSumRateLP$|BenchmarkFeasibility$|BenchmarkOutageBlock$|BenchmarkFig3$|BenchmarkSNRCrossover$|BenchmarkFadingOutage$|BenchmarkBitTrueTDBCBlock$|BenchmarkBitTrueMABCBlock$|BenchmarkEngineSumRateBatch$|BenchmarkEngineSweep$|BenchmarkOneShotSumRateBatch$|BenchmarkRegionParallel$|BenchmarkCampaign$|BenchmarkRunCore$|BenchmarkRunCoreResilient$'
 bitpattern='BenchmarkBitTrueTDBC$|BenchmarkBitTrueTDBCParallel$|BenchmarkBitTrueMABC$|BenchmarkBitTrueMABCParallel$'
 
-{
-    go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
-        . ./internal/protocols/ ./internal/sim/ ./internal/simplex/
-    go test -run '^$' -bench "$bitpattern" -benchmem -benchtime "$bittime" \
-        ./internal/sim/
-} | tee /dev/stderr \
-    | go run ./cmd/benchjson > "$out"
+# The bench runs land in a temp file first, NOT straight into the benchjson
+# pipeline: this is POSIX sh (no pipefail), so a failing `go test -bench`
+# inside a pipeline would be masked by the pipe's last stage and the script
+# would happily ledger a truncated run. With the redirect, set -e aborts on
+# the failing go test before anything is ledgered.
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT INT TERM
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
+    . ./internal/protocols/ ./internal/sim/ ./internal/simplex/ ./internal/sweep/ > "$raw"
+go test -run '^$' -bench "$bitpattern" -benchmem -benchtime "$bittime" \
+    ./internal/sim/ >> "$raw"
+
+tee /dev/stderr < "$raw" | go run ./cmd/benchjson > "$out"
 echo "wrote $out" >&2

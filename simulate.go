@@ -304,6 +304,19 @@ type CampaignSpec struct {
 	// must be goroutine-safe. Give each spec its own Progress (or
 	// aggregate through the streamed yield, which is always serialized).
 	Workers int
+	// Start resumes the campaign past the first Start specs: an earlier
+	// run already completed and delivered them, so they are neither re-run
+	// nor yielded again. The returned slice still spans every spec; entries
+	// below Start are zero values (their results live with the run that
+	// produced them). Feed a Checkpointer's last saved value back here.
+	Start int
+	// Checkpoint, when non-nil, observes the completed-run watermark as it
+	// advances (see Checkpointer). A Save error halts the campaign.
+	Checkpoint Checkpointer
+	// Retry, when non-nil, re-runs transiently failed simulation runs (see
+	// RetryPolicy). Runs are seed-deterministic, so a retry reproduces
+	// exactly the statistics an untroubled first attempt would have.
+	Retry *RetryPolicy
 }
 
 // SimulateBatch executes a campaign. Completed results are streamed to
@@ -322,14 +335,25 @@ func (e *Engine) SimulateBatch(ctx context.Context, spec CampaignSpec, yield fun
 			return nil, fmt.Errorf("spec %d: %w", i, err)
 		}
 	}
+	if err := validateResume(spec.Start, ErrInvalidSimSpec); err != nil {
+		return nil, err
+	}
 	results := make([]SimResult, len(spec.Specs))
 	var yieldErr error
 	// ChunkSize 1: each point is a whole simulation run, so the outer pool
 	// pipelines runs individually. The specs are mutually independent and
 	// individually deterministic, so — unlike the warm-started LP grids —
 	// no per-chunk state exists and any chunking would only serialize runs.
+	// (With ChunkSize 1 the checkpoint watermark and Start are plain spec
+	// counts — no chunk-boundary flooring.)
 	prefix, err := sweep.RunCore(ctx, len(spec.Specs),
-		sweep.CoreOptions{Workers: e.campaignWorkers(spec.Workers), ChunkSize: 1},
+		sweep.CoreOptions{
+			Workers:    e.campaignWorkers(spec.Workers),
+			ChunkSize:  1,
+			Start:      spec.Start,
+			Checkpoint: spec.Checkpoint,
+			Retry:      spec.Retry.internal(),
+		},
 		sweep.Hooks[struct{}]{},
 		func(_ struct{}, lo, hi int) error {
 			for i := lo; i < hi; i++ {
@@ -364,7 +388,7 @@ func (e *Engine) SimulateBatch(ctx context.Context, spec CampaignSpec, yield fun
 	case yieldErr != nil && errors.Is(err, yieldErr):
 		return results[:prefix], yieldErr // the caller's own error, verbatim
 	default:
-		return results[:prefix], simWrap(err)
+		return results[:prefix], simWrap(translateResilience(err))
 	}
 }
 

@@ -51,6 +51,18 @@ type SweepSpec struct {
 	// Results are bit-identical for every value — Workers only trades
 	// wall-clock time for cores.
 	Workers int
+	// Start resumes the sweep past the first Start points: an earlier run
+	// already yielded them, so they are neither re-evaluated (beyond at
+	// most one chunk of warm-up) nor yielded again. Feed a Checkpointer's
+	// last saved watermark back here; the concatenated yields of the two
+	// runs match an uninterrupted sweep exactly.
+	Start int
+	// Checkpoint, when non-nil, observes the yielded-point watermark as it
+	// advances (see Checkpointer). A Save error stops the sweep.
+	Checkpoint Checkpointer
+	// Retry, when non-nil, re-runs transiently failed chunks on fresh
+	// evaluator state instead of failing the sweep (see RetryPolicy).
+	Retry *RetryPolicy
 }
 
 // Size returns the number of points the sweep will yield.
@@ -178,12 +190,19 @@ func (e *Engine) Sweep(ctx context.Context, spec SweepSpec, yield func(SweepPoin
 	if err := spec.validate(); err != nil {
 		return err
 	}
+	if err := validateResume(spec.Start, ErrInvalidSweepSpec); err != nil {
+		return err
+	}
 	ispec, err := spec.internal()
 	if err != nil {
 		return err
 	}
+	opts := e.sweepOpts(spec.Workers)
+	opts.Start = spec.Start
+	opts.Checkpoint = spec.Checkpoint
+	opts.Retry = spec.Retry.internal()
 	var yieldErr error
-	err = sweep.Sweep(ctx, ispec, e.sweepOpts(spec.Workers), func(pt sweep.Point) error {
+	err = sweep.Sweep(ctx, ispec, opts, func(pt sweep.Point) error {
 		pub := SweepPoint{
 			Index:    pt.Index,
 			PowerDB:  pt.PowerDB,
@@ -223,7 +242,7 @@ func (e *Engine) Sweep(ctx context.Context, spec SweepSpec, yield func(SweepPoin
 		// typed sentinel, like the pre-sharding sweep did.
 		return fmt.Errorf("%w: %v", ErrInvalidScenario, err)
 	default:
-		return fmt.Errorf("bicoop: %w", err)
+		return fmt.Errorf("bicoop: %w", translateResilience(err))
 	}
 }
 
