@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
 
-.PHONY: all build vet test bench bench-smoke bench-baseline bench-compare fmt-check region-artifacts
+.PHONY: all build vet test bench bench-smoke bench-baseline bench-compare fmt-check region-artifacts bccd service-smoke service-chaos
 
 all: build vet test
 
@@ -36,6 +36,21 @@ bench-baseline:
 bench-compare:
 	./scripts/bench.sh BENCH_ci.json 50x 3x
 	go run ./cmd/benchjson compare BENCH_after.json BENCH_ci.json -threshold 1.25
+
+# bccd builds the crash-safe job daemon (see doc.go "Running bccd").
+bccd:
+	go build -o bccd ./cmd/bccd
+
+# service-smoke runs a quick end-to-end bccd lifecycle: start, submit a
+# small sweep job, wait, fetch the CSV, SIGTERM-drain.
+service-smoke:
+	./scripts/service_smoke.sh
+
+# service-chaos is the kill -9 recovery gate CI runs: a ~30k-point sweep
+# job SIGKILLed and restarted until done, recovered results byte-identical
+# to an uninterrupted run's.
+service-chaos:
+	./scripts/service_chaos.sh
 
 # region-artifacts writes the canonical text+CSV artifacts of the region
 # figures (both Fig 4 power levels) under artifacts/, through the same

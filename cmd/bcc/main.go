@@ -27,14 +27,11 @@
 package main
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"io/fs"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -46,6 +43,7 @@ import (
 	"time"
 
 	"bicoop"
+	"bicoop/internal/service"
 )
 
 func main() {
@@ -534,130 +532,36 @@ func parsePowers(s string) ([]float64, error) {
 	return out, nil
 }
 
-// sweepCheckpoint is the bcc sweep resume state: the engine's watermark (in
-// points) plus the CSV byte offset the watermarked prefix ends at. Offset
-// makes resume robust to a kill between a yield and its checkpoint save —
-// the rerun truncates the CSV back to the offset the watermark vouches for,
-// so rows past it (delivered but never checkpointed) are rewritten rather
-// than duplicated.
-type sweepCheckpoint struct {
-	Watermark int   `json:"watermark"`
-	Offset    int64 `json:"offset"`
-}
-
-func loadSweepCheckpoint(path string) (sweepCheckpoint, error) {
-	var ck sweepCheckpoint
-	data, err := os.ReadFile(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return ck, nil // fresh run
-	}
-	if err != nil {
-		return ck, err
-	}
-	if err := json.Unmarshal(data, &ck); err != nil || ck.Watermark < 0 || ck.Offset < 0 {
-		return ck, fmt.Errorf("corrupt checkpoint %s (delete it to start fresh)", path)
-	}
-	return ck, nil
-}
-
-// csvSink owns the sweep's CSV stream and, when checkpointing, persists
-// {watermark, offset} atomically each time the engine's watermark advances —
-// after flushing the rows the watermark covers, so a saved checkpoint never
-// points past what is durably in the file.
-type csvSink struct {
-	f      *os.File // nil when streaming to stdout
-	buf    *bufio.Writer
-	ckPath string
-}
-
-func (s *csvSink) Save(watermark int) error {
-	if err := s.buf.Flush(); err != nil {
-		return err
-	}
-	off, err := s.f.Seek(0, io.SeekCurrent)
-	if err != nil {
-		return err
-	}
-	data, err := json.Marshal(sweepCheckpoint{Watermark: watermark, Offset: off})
-	if err != nil {
-		return err
-	}
-	tmp := s.ckPath + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, s.ckPath)
-}
-
-// runSweepCSV streams the sweep as CSV, wiring the checkpoint/resume recipe
-// when ckPath is set.
+// runSweepCSV streams the sweep as CSV through the shared ResultLog — the
+// same byte-offset checkpoint/resume implementation the bccd job service
+// uses — wiring the resume recipe when ckPath is set.
 func runSweepCSV(ctx context.Context, spec bicoop.SweepSpec, out, ckPath string) error {
-	sink := &csvSink{}
-	if ckPath != "" {
+	var log *service.ResultLog
+	var err error
+	switch {
+	case ckPath != "":
 		if out == "" {
 			return fmt.Errorf("-checkpoint requires -o (resume needs to truncate and append the output file)")
 		}
-		ck, err := loadSweepCheckpoint(ckPath)
-		if err != nil {
-			return err
-		}
-		if ck.Watermark > 0 {
-			f, err := os.OpenFile(out, os.O_RDWR, 0o644)
-			if err != nil {
-				return fmt.Errorf("checkpoint %s expects output %s: %w (delete the checkpoint to start fresh)", ckPath, out, err)
-			}
-			if err := f.Truncate(ck.Offset); err != nil {
-				f.Close()
-				return err
-			}
-			if _, err := f.Seek(ck.Offset, io.SeekStart); err != nil {
-				f.Close()
-				return err
-			}
-			sink.f = f
-			spec.Start = ck.Watermark
-		}
+		log, err = service.OpenResultLog(out, ckPath)
+	case out != "":
+		log, err = service.OpenResultLog(out, "")
+	default:
+		log = service.NewResultLog(os.Stdout)
 	}
-	if sink.f == nil && out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		sink.f = f
-	}
-	var w io.Writer = os.Stdout
-	if sink.f != nil {
-		defer sink.f.Close()
-		w = sink.f
-	}
-	sink.buf = bufio.NewWriter(w)
-	if ckPath != "" {
-		sink.ckPath = ckPath
-		spec.Checkpoint = sink
-	}
-	if spec.Start == 0 {
-		fmt.Fprintln(sink.buf, "index,power_db,gab_db,gar_db,gbr_db,protocol,bound,ra,rb,sum")
-	}
-	runErr := eng.Sweep(ctx, spec, func(pt bicoop.SweepPoint) error {
-		_, err := fmt.Fprintf(sink.buf, "%d,%g,%g,%g,%g,%s,%s,%.12g,%.12g,%.12g\n",
-			pt.Index, pt.PowerDB, pt.Scenario.GabDB, pt.Scenario.GarDB, pt.Scenario.GbrDB,
-			pt.Protocol, pt.Bound, pt.Result.Point.Ra, pt.Result.Point.Rb, pt.Result.Sum)
+	if err != nil {
 		return err
-	})
-	// Flush whatever streamed before a stop: rows past the last checkpoint
-	// are still valid partial output, and a resume truncates them away
-	// before rewriting.
-	if err := sink.buf.Flush(); err != nil && runErr == nil {
+	}
+	// RunSweep flushes before returning, so rows streamed past the last
+	// checkpoint survive an early stop as valid partial output; a resume
+	// truncates them away before rewriting.
+	runErr := service.RunSweep(ctx, eng, spec, log)
+	if err := log.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
 	return runErr
 }
 
 func parseProtocol(name string) (bicoop.Protocol, error) {
-	for _, p := range bicoop.AllProtocols() {
-		if strings.EqualFold(p.String(), name) {
-			return p, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown protocol %q", name)
+	return bicoop.ParseProtocol(name)
 }

@@ -133,6 +133,45 @@
 // (seed, chunk, attempt), so a chaos-wrapped run retried to completion is
 // asserted bit-identical to a fault-free one at every worker count.
 //
+// # Running bccd
+//
+// Command bccd serves the same engine as a crash-safe HTTP/JSON job
+// daemon, for long sweeps that should survive the submitting shell — and
+// the machine. It layers the checkpoint/resume discipline above into a
+// durable job store (internal/service): each job gets a directory holding
+// its spec verbatim, its state, a streaming results.csv, and a
+// {watermark, byte offset} checkpoint saved atomically as rows flush.
+//
+//	bccd -store /var/lib/bccd -addr 127.0.0.1:8347
+//
+//	POST   /v1/jobs              submit a job; 201 + {"id": "j000001", ...}
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job status: state, error, resume watermark
+//	GET    /v1/jobs/{id}/results the CSV so far (live jobs: checkpointed
+//	                             prefix only, never retractable rows)
+//	DELETE /v1/jobs/{id}         cancel; partial results stay valid
+//	GET    /healthz              {"ok": true, "draining": false}
+//
+// A job is exactly one of "sweep", "region_batch" or "campaign" (mirroring
+// SweepSpec, RegionBatchSpec, CampaignSpec; enums travel as names), plus
+// optional "retry" and "timeout_ms":
+//
+//	{"sweep": {"base": {"PowerDB": 0, "GabDB": -7, "GarDB": 0, "GbrDB": 5},
+//	           "powers_db": [0, 10, 20], "protocols": ["MABC", "TDBC"]}}
+//
+// The guarantees are the CLI's, detached from any client: kill -9 the
+// daemon mid-job and the restarted daemon rescans the store, re-queues
+// interrupted jobs, truncates each results.csv to its checkpointed offset,
+// and resumes from the watermark — the finished file is byte-identical to
+// an uninterrupted run's (the service-chaos CI job pins this at several
+// worker counts). SIGTERM drains gracefully: admission stops (503 +
+// Retry-After), running jobs checkpoint and park back to queued, and the
+// process exits within -drain. A full queue sheds new submissions with 429
+// + Retry-After instead of buffering unboundedly; "timeout_ms" lands a job
+// past its deadline in state "timeout" with valid partial results,
+// mirroring bcc's exit-124 contract. `make service-smoke` runs the
+// end-to-end lifecycle; `make service-chaos` runs the kill -9 gate.
+//
 // # Performance and profiling
 //
 // Every reported quantity reduces to a tiny phase-duration LP per scenario,

@@ -1,0 +1,151 @@
+package service
+
+// emit.go — the CSV emitters binding each streaming engine entry point to a
+// ResultLog. Each emitter wires the full resume recipe in one place: Start
+// from the log's loaded watermark, header exactly when fresh, Checkpoint
+// when the log persists one, and a final flush so rows past the last
+// checkpoint survive a graceful stop as valid partial output. The sweep row
+// format is the bcc CLI's, unchanged — the CLI now emits through RunSweep,
+// so there is exactly one tested implementation of the byte-offset resume
+// discipline.
+
+import (
+	"context"
+	"strconv"
+
+	"bicoop"
+)
+
+// sweepHeader/sweepRow: one row per grid point, bcc's historical format.
+const (
+	sweepHeader = "index,power_db,gab_db,gar_db,gbr_db,protocol,bound,ra,rb,sum\n"
+	sweepRow    = "%d,%g,%g,%g,%g,%s,%s,%.12g,%.12g,%.12g\n"
+)
+
+// RunSweep streams a sweep's points into the log as CSV, resuming past the
+// log's watermark. The watermark unit is grid points.
+func RunSweep(ctx context.Context, eng *bicoop.Engine, spec bicoop.SweepSpec, log *ResultLog) error {
+	spec.Start = log.Watermark()
+	if log.Checkpointed() {
+		spec.Checkpoint = log
+	}
+	if log.Fresh() {
+		if err := log.Printf(sweepHeader); err != nil {
+			return err
+		}
+	}
+	runErr := eng.Sweep(ctx, spec, func(pt bicoop.SweepPoint) error {
+		return log.Printf(sweepRow,
+			pt.Index, pt.PowerDB, pt.Scenario.GabDB, pt.Scenario.GarDB, pt.Scenario.GbrDB,
+			pt.Protocol, pt.Bound, pt.Result.Point.Ra, pt.Result.Point.Rb, pt.Result.Sum)
+	})
+	if err := log.Flush(); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+// regionHeader/regionRow: one row per polygon vertex, curves in enumeration
+// order (scenario-major). The watermark unit is whole curves, matching
+// RegionBatch yields.
+const (
+	regionHeader = "scenario_idx,curve_idx,protocol,bound,vertex,ra,rb\n"
+	regionRow    = "%d,%d,%s,%s,%d,%.12g,%.12g\n"
+)
+
+// RunRegionBatch streams a region batch's completed curves into the log as
+// CSV, one row per vertex, resuming past the log's watermark (in curves).
+func RunRegionBatch(ctx context.Context, eng *bicoop.Engine, spec bicoop.RegionBatchSpec, log *ResultLog) error {
+	spec.Start = log.Watermark()
+	if log.Checkpointed() {
+		spec.Checkpoint = log
+	}
+	if log.Fresh() {
+		if err := log.Printf(regionHeader); err != nil {
+			return err
+		}
+	}
+	runErr := eng.RegionBatch(ctx, spec, func(pt bicoop.RegionBatchPoint) error {
+		for v, p := range pt.Region.Vertices() {
+			if err := log.Printf(regionRow,
+				pt.ScenarioIdx, pt.CurveIdx, pt.Curve.Protocol, pt.Curve.Bound, v, p.Ra, p.Rb); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := log.Flush(); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+// campaignHeader/campaign rows: long format, one row per (run, metric,
+// label) triple, so heterogeneous campaigns (fading and bit-true specs
+// mixed) share one schema. Fading protocols emit in AllProtocols order so
+// the file is deterministic despite the map-typed result. The watermark
+// unit is completed runs, matching SimulateBatch yields.
+const (
+	campaignHeader   = "run,metric,label,value\n"
+	campaignFloatRow = "%d,%s,%s,%.12g\n"
+	campaignIntRow   = "%d,%s,%s,%d\n"
+)
+
+// RunCampaign streams a campaign's completed runs into the log as long-form
+// CSV, resuming past the log's watermark (in runs).
+func RunCampaign(ctx context.Context, eng *bicoop.Engine, spec bicoop.CampaignSpec, log *ResultLog) error {
+	spec.Start = log.Watermark()
+	if log.Checkpointed() {
+		spec.Checkpoint = log
+	}
+	if log.Fresh() {
+		if err := log.Printf(campaignHeader); err != nil {
+			return err
+		}
+	}
+	_, runErr := eng.SimulateBatch(ctx, spec, func(i int, r bicoop.SimResult) error {
+		return emitSimResult(log, i, r)
+	})
+	if err := log.Flush(); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+// emitSimResult writes one completed run's rows.
+func emitSimResult(log *ResultLog, run int, r bicoop.SimResult) error {
+	if err := log.Printf(campaignIntRow, run, "trials", "", r.Trials); err != nil {
+		return err
+	}
+	if r.Fading != nil {
+		for _, p := range bicoop.AllProtocols() {
+			st, ok := r.Fading[p]
+			if !ok {
+				continue
+			}
+			if err := log.Printf(campaignFloatRow, run, "mean_opt_sum_rate", p.String(), st.MeanOptSumRate); err != nil {
+				return err
+			}
+			if err := log.Printf(campaignFloatRow, run, "outage_prob", p.String(), st.OutageProb); err != nil {
+				return err
+			}
+		}
+	}
+	if r.BitTrue != nil {
+		if err := log.Printf(campaignFloatRow, run, "success_prob", "", r.BitTrue.SuccessProb); err != nil {
+			return err
+		}
+		if err := log.Printf(campaignIntRow, run, "relay_failures", "", r.BitTrue.RelayFailures); err != nil {
+			return err
+		}
+		if err := log.Printf(campaignIntRow, run, "terminal_failures", "", r.BitTrue.TerminalFailures); err != nil {
+			return err
+		}
+	}
+	for phase, d := range r.Durations {
+		if err := log.Printf(campaignFloatRow, run, "duration", strconv.Itoa(phase), d); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package service
+
+// kill_test.go — the service-level chaos harness: a real bccd-shaped server
+// in a child process, SIGKILLed mid-job at seeded pseudo-random uptimes and
+// restarted over the same store until the job completes, then the recovered
+// results.csv pinned byte-identical to an uninterrupted in-process run — at
+// several job worker counts, because both guarantees under test (fixed
+// chunk boundaries and checkpointed byte-offset resume) must hold for every
+// Workers setting. The child is this test binary re-exec'd (the TestMain
+// hook), so the harness needs no separate build step.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bicoop"
+	"bicoop/internal/sweep/chaos"
+)
+
+const (
+	killChildStoreEnv = "BCCD_KILL_CHILD_STORE"
+	killChildAddrEnv  = "BCCD_KILL_CHILD_ADDRFILE"
+)
+
+// TestMain re-execs this binary as the kill-test server child when the env
+// var is set; otherwise it runs the tests normally.
+func TestMain(m *testing.M) {
+	if dir := os.Getenv(killChildStoreEnv); dir != "" {
+		runKillChild(dir, os.Getenv(killChildAddrEnv))
+		return // unreachable: runKillChild serves until killed
+	}
+	os.Exit(m.Run())
+}
+
+// runKillChild is the child's main: recover the store, run the service, and
+// serve HTTP until SIGKILLed. It mirrors cmd/bccd without the flag surface.
+func runKillChild(storeDir, addrFile string) {
+	st, err := OpenStore(storeDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kill child:", err)
+		os.Exit(1)
+	}
+	svc := New(st, bicoop.NewEngine(), Options{})
+	if err := svc.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "kill child:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kill child:", err)
+		os.Exit(1)
+	}
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "kill child:", err)
+		os.Exit(1)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		fmt.Fprintln(os.Stderr, "kill child:", err)
+		os.Exit(1)
+	}
+	http.Serve(ln, NewHandler(svc))
+}
+
+// killJob is the chaos workload: big enough that no single uptime window
+// below finishes it (the ordered emitter alone needs longer than MaxUptime
+// to format the rows), so every subtest takes at least one SIGKILL mid-job.
+func killJob(workers int) JobSpec {
+	spec := JobSpec{Sweep: &SweepJob{
+		Base:     testScenario,
+		Workers:  workers,
+		PowersDB: powerAxis(0, 20, 0.01),
+	}}
+	for i := 0; i < 24; i++ {
+		spec.Sweep.Placements = append(spec.Sweep.Placements, bicoop.RelayPlacement{
+			Pos: 0.05 + 0.9*float64(i)/23, Exponent: 3, GabDB: testScenario.GabDB,
+		})
+	}
+	return spec
+}
+
+func TestKillNineResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill -9 chaos loop is not a -short test")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One uninterrupted reference; the bit-identical-across-Workers
+	// guarantee means every subtest must reproduce these exact bytes.
+	want := referenceCSV(t, killJob(1))
+
+	for _, tc := range []struct {
+		workers              int
+		minUptime, maxUptime time.Duration
+	}{
+		{workers: 1, minUptime: 50 * time.Millisecond, maxUptime: 150 * time.Millisecond},
+		{workers: 2, minUptime: 40 * time.Millisecond, maxUptime: 110 * time.Millisecond},
+		{workers: 7, minUptime: 30 * time.Millisecond, maxUptime: 70 * time.Millisecond},
+	} {
+		t.Run(fmt.Sprintf("workers=%d", tc.workers), func(t *testing.T) {
+			storeDir := filepath.Join(t.TempDir(), "jobs")
+			addrFile := filepath.Join(t.TempDir(), "addr")
+			statePath := filepath.Join(storeDir, "j000001", "state.json")
+			submitted := false
+
+			start := func() (*exec.Cmd, error) {
+				os.Remove(addrFile) // each child binds a fresh port
+				cmd := exec.Command(exe)
+				cmd.Env = append(os.Environ(),
+					killChildStoreEnv+"="+storeDir,
+					killChildAddrEnv+"="+addrFile,
+				)
+				cmd.Stderr = os.Stderr
+				if err := cmd.Start(); err != nil {
+					return nil, err
+				}
+				addr, err := waitForFile(addrFile, 10*time.Second)
+				if err != nil {
+					cmd.Process.Kill()
+					cmd.Wait()
+					return nil, err
+				}
+				if !submitted {
+					if err := submitKillJob(strings.TrimSpace(addr), killJob(tc.workers)); err != nil {
+						cmd.Process.Kill()
+						cmd.Wait()
+						return nil, err
+					}
+					submitted = true
+				}
+				return cmd, nil
+			}
+			done := func() bool {
+				data, err := os.ReadFile(statePath)
+				return err == nil && bytes.Contains(data, []byte(`"done"`))
+			}
+			killer := chaos.ProcKiller{
+				Seed:      int64(tc.workers)*1000 + 7,
+				MinUptime: tc.minUptime,
+				MaxUptime: tc.maxUptime,
+				// The growth keeps the loop terminating under the race
+				// detector's ~10x engine slowdown; plain builds finish
+				// within a handful of kills before it matters.
+				Grow:      15 * time.Millisecond,
+				MaxRounds: 150,
+			}
+			kills, err := killer.Run(start, done)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kills < 1 {
+				t.Fatalf("job survived with zero kills — the chaos loop exercised nothing; shrink MaxUptime or grow the job")
+			}
+			t.Logf("workers=%d: recovered from %d SIGKILLs", tc.workers, kills)
+			got, err := os.ReadFile(filepath.Join(storeDir, "j000001", "results.csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("recovered results differ from uninterrupted run: got %d bytes, want %d", len(got), len(want))
+			}
+		})
+	}
+}
+
+// waitForFile polls for a file (the child's atomically-written address) and
+// returns its contents.
+func waitForFile(path string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		data, err := os.ReadFile(path)
+		if err == nil && len(data) > 0 {
+			return string(data), nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return "", fmt.Errorf("file %s did not appear within %s", path, timeout)
+}
+
+// submitKillJob POSTs the job and checks the 201.
+func submitKillJob(addr string, spec JobSpec) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("submit: status %d", resp.StatusCode)
+	}
+	return nil
+}

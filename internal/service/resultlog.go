@@ -1,0 +1,171 @@
+// Package service is the crash-safe bccd job service: a durable on-disk job
+// store, a bounded admission queue with load shedding, a drain-aware runner
+// that parks in-flight jobs on shutdown, and an HTTP/JSON front end. Every
+// job streams its results through a ResultLog — the one byte-offset
+// CSV resume implementation shared with the bcc CLI — so a kill -9 at any
+// instant loses at most the rows past the last checkpoint, and a restart
+// rewrites exactly those rows: the recovered file is byte-identical to an
+// uninterrupted run's.
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+)
+
+// logCheckpoint is the durable resume state of a ResultLog: the engine
+// watermark (in the spec's yield units — points, curves or runs) plus the
+// CSV byte offset the watermarked prefix ends at. The offset makes resume
+// robust to a kill between a yield and its checkpoint save — the rerun
+// truncates the CSV back to the offset the watermark vouches for, so rows
+// delivered but never checkpointed are rewritten rather than duplicated.
+type logCheckpoint struct {
+	Watermark int   `json:"watermark"`
+	Offset    int64 `json:"offset"`
+}
+
+// loadLogCheckpoint reads a {watermark, offset} checkpoint. A missing or
+// zero-length file — the latter is what a crash between creating the file
+// and the first completed write leaves behind — is a fresh run, not
+// corruption.
+func loadLogCheckpoint(path string) (logCheckpoint, error) {
+	var ck logCheckpoint
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return ck, nil // fresh run
+	}
+	if err != nil {
+		return ck, err
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return ck, nil // crash before the first save completed: fresh run
+	}
+	if err := json.Unmarshal(data, &ck); err != nil || ck.Watermark < 0 || ck.Offset < 0 {
+		return ck, fmt.Errorf("corrupt checkpoint %s (delete it to start fresh)", path)
+	}
+	return ck, nil
+}
+
+// ResultLog owns a job's streaming CSV output and, when opened with a
+// checkpoint path, persists {watermark, offset} atomically each time the
+// engine's watermark advances — after flushing the rows the watermark
+// covers, so a saved checkpoint never points past what is durably in the
+// file. It implements bicoop.Checkpointer; feed Watermark back as the
+// spec's Start and the concatenated output of the runs is byte-identical
+// to an uninterrupted run's.
+type ResultLog struct {
+	f         *os.File // nil when wrapping a plain writer (stdout)
+	buf       *bufio.Writer
+	ckPath    string // "" disables checkpointing
+	watermark int    // watermark loaded at open (the resume Start)
+}
+
+// OpenResultLog opens csvPath for a run's CSV stream. With ckPath empty the
+// file is created fresh and nothing is checkpointed. With ckPath set, the
+// checkpoint decides: missing/empty means a fresh run (csvPath is created,
+// truncating any stale leftover), a saved watermark means resume (csvPath
+// must exist; it is truncated to the checkpointed offset and appended to),
+// and a corrupt checkpoint is a loud error, never a silent restart.
+func OpenResultLog(csvPath, ckPath string) (*ResultLog, error) {
+	l := &ResultLog{ckPath: ckPath}
+	if ckPath != "" {
+		ck, err := loadLogCheckpoint(ckPath)
+		if err != nil {
+			return nil, err
+		}
+		if ck.Watermark > 0 {
+			f, err := os.OpenFile(csvPath, os.O_RDWR, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint %s expects output %s: %w (delete the checkpoint to start fresh)", ckPath, csvPath, err)
+			}
+			if err := f.Truncate(ck.Offset); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if _, err := f.Seek(ck.Offset, io.SeekStart); err != nil {
+				f.Close()
+				return nil, err
+			}
+			l.f = f
+			l.watermark = ck.Watermark
+		}
+	}
+	if l.f == nil {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return nil, err
+		}
+		l.f = f
+	}
+	l.buf = bufio.NewWriter(l.f)
+	return l, nil
+}
+
+// NewResultLog wraps a plain writer (stdout) with no resume and no
+// checkpointing — the streaming-only mode of the bcc CLI.
+func NewResultLog(w io.Writer) *ResultLog {
+	return &ResultLog{buf: bufio.NewWriter(w)}
+}
+
+// Watermark returns the resume watermark loaded at open: 0 for a fresh run,
+// the last checkpointed value for a resumed one. Feed it to the spec's
+// Start field.
+func (l *ResultLog) Watermark() int { return l.watermark }
+
+// Fresh reports whether the run starts from the beginning — the caller
+// writes the CSV header exactly when it does.
+func (l *ResultLog) Fresh() bool { return l.watermark == 0 }
+
+// Checkpointed reports whether the log persists a checkpoint; set the spec's
+// Checkpoint field to l exactly when it does.
+func (l *ResultLog) Checkpointed() bool { return l.ckPath != "" }
+
+// Printf appends one formatted row to the stream.
+func (l *ResultLog) Printf(format string, args ...any) error {
+	_, err := fmt.Fprintf(l.buf, format, args...)
+	return err
+}
+
+// Save implements bicoop.Checkpointer: flush the rows the watermark covers,
+// then atomically replace the checkpoint with {watermark, current offset}.
+func (l *ResultLog) Save(watermark int) error {
+	if err := l.buf.Flush(); err != nil {
+		return err
+	}
+	off, err := l.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(logCheckpoint{Watermark: watermark, Offset: off})
+	if err != nil {
+		return err
+	}
+	tmp := l.ckPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, l.ckPath)
+}
+
+// Flush pushes buffered rows to the underlying file or writer. Rows past
+// the last checkpoint are still valid partial output — a resume truncates
+// them away before rewriting.
+func (l *ResultLog) Flush() error { return l.buf.Flush() }
+
+// Close flushes and closes the underlying file (a no-op close for a wrapped
+// plain writer).
+func (l *ResultLog) Close() error {
+	err := l.buf.Flush()
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

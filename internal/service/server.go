@@ -1,0 +1,156 @@
+package service
+
+// server.go — the HTTP/JSON face of the job service. Routes:
+//
+//	POST   /v1/jobs              submit a JobSpec        → 201 {"id",...}
+//	GET    /v1/jobs              list jobs               → 200 [JobStatus]
+//	GET    /v1/jobs/{id}         one job's status        → 200 JobStatus
+//	GET    /v1/jobs/{id}/results CSV (checkpointed prefix while live)
+//	DELETE /v1/jobs/{id}         cancel                  → 202 JobStatus
+//	GET    /healthz              liveness + drain flag
+//
+// Failure surfaces are structured and typed: validation errors are 400s
+// carrying the facade's sentinel text, an unknown id is 404, a full queue
+// sheds with 429 + Retry-After, a draining server refuses with 503, and a
+// handler panic is contained to a 500 by the recovery middleware — the
+// service keeps running, matching the engine's own panic containment.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+
+	"bicoop"
+)
+
+// maxSpecBytes bounds a submission body; a campaign of thousands of specs
+// fits comfortably, a runaway client does not.
+const maxSpecBytes = 8 << 20
+
+// retryAfterSeconds is the backoff hint sent with 429 and 503 responses.
+const retryAfterSeconds = 5
+
+// httpError is the structured error body of every non-2xx response.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// NewHandler builds the service's HTTP handler.
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: reading body: %v", ErrInvalidJob, err))
+			return
+		}
+		if len(body) > maxSpecBytes {
+			writeError(w, fmt.Errorf("%w: spec exceeds %d bytes", ErrInvalidJob, maxSpecBytes))
+			return
+		}
+		spec, err := ParseJobSpec(body)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		id, err := svc.Submit(spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, JobStatus{ID: id, State: StateQueued})
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.List())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := svc.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		data, state, err := svc.Results(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.Header().Set("X-Job-State", string(state))
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := svc.Cancel(id); err != nil {
+			writeError(w, err)
+			return
+		}
+		st, err := svc.Status(id)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": svc.Draining()})
+	})
+	return recoverPanics(mux)
+}
+
+// recoverPanics contains a handler panic to a structured 500 so one bad
+// request cannot take the service down.
+func recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				debug.PrintStack()
+				writeJSON(w, http.StatusInternalServerError,
+					httpError{Error: fmt.Sprintf("internal panic: %v", v)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// writeError maps service and facade sentinels to status codes with a
+// structured body.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	case errors.Is(err, ErrUnknownJob):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrInvalidJob),
+		errors.Is(err, bicoop.ErrInvalidSweepSpec),
+		errors.Is(err, bicoop.ErrInvalidRegionSpec),
+		errors.Is(err, bicoop.ErrInvalidSimSpec),
+		errors.Is(err, bicoop.ErrInvalidScenario),
+		errors.Is(err, bicoop.ErrInvalidRates),
+		errors.Is(err, bicoop.ErrInvalidTrials),
+		errors.Is(err, bicoop.ErrInvalidBlockLength),
+		errors.Is(err, bicoop.ErrUnknownProtocol),
+		errors.Is(err, bicoop.ErrUnknownBound):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, httpError{Error: err.Error()})
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tinySweep(workers int) JobSpec {
+	return JobSpec{Sweep: &SweepJob{
+		Base:      testScenario,
+		PowersDB:  []float64{0, 10},
+		Protocols: nil, // all five
+		Workers:   workers,
+	}}
+}
+
+func TestStoreCreateLoadRoundTrip(t *testing.T) {
+	st, err := OpenStore(filepath.Join(t.TempDir(), "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := st.Create(tinySweep(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != "j000001" {
+		t.Fatalf("first id = %q, want j000001", id1)
+	}
+	id2, err := st.Create(tinySweep(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.Load(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateQueued || rec.Spec.Sweep == nil || rec.Spec.Sweep.Workers != 2 {
+		t.Errorf("loaded record mismatch: %+v", rec)
+	}
+	if err := st.SetState(id2, StateDone, ""); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].ID != id1 || recs[1].ID != id2 || recs[1].State != StateDone {
+		t.Errorf("LoadAll = %+v", recs)
+	}
+}
+
+func TestStoreReopenContinuesIDs(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "jobs")
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create(tinySweep(0)); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := st2.Create(tinySweep(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "j000002" {
+		t.Errorf("id after reopen = %q, want j000002 (no collision with existing jobs)", id)
+	}
+}
+
+func TestStoreIgnoresInterruptedCreate(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "jobs")
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-create: a temp directory that never got renamed.
+	if err := os.MkdirAll(filepath.Join(dir, ".tmp-j000009"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("interrupted create surfaced as a job: %+v", recs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-j000009")); !os.IsNotExist(err) {
+		t.Error("interrupted create directory not cleaned up by rescan")
+	}
+}

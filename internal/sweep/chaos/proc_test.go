@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"os/exec"
+	"testing"
+	"time"
+)
+
+func TestProcKillerUptimeDeterministicAndBounded(t *testing.T) {
+	k := ProcKiller{Seed: 42, MinUptime: 10 * time.Millisecond, MaxUptime: 50 * time.Millisecond}
+	for r := 0; r < 100; r++ {
+		u := k.Uptime(r)
+		if u != k.Uptime(r) {
+			t.Fatalf("round %d: Uptime is not a pure function of (Seed, r)", r)
+		}
+		if u < k.MinUptime || u >= k.MaxUptime {
+			t.Fatalf("round %d: uptime %s outside [%s, %s)", r, u, k.MinUptime, k.MaxUptime)
+		}
+	}
+	other := ProcKiller{Seed: 43, MinUptime: k.MinUptime, MaxUptime: k.MaxUptime}
+	same := 0
+	for r := 0; r < 100; r++ {
+		if k.Uptime(r) == other.Uptime(r) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("seeds 42 and 43 draw identical schedules; the seed is not mixed in")
+	}
+}
+
+func TestProcKillerUptimeDegenerateSpan(t *testing.T) {
+	k := ProcKiller{Seed: 1, MinUptime: 20 * time.Millisecond, MaxUptime: 20 * time.Millisecond}
+	if got := k.Uptime(3); got != 20*time.Millisecond {
+		t.Errorf("zero-span uptime = %s, want MinUptime", got)
+	}
+}
+
+func TestProcKillerRunGivesUpAfterMaxRounds(t *testing.T) {
+	k := ProcKiller{Seed: 7, MinUptime: time.Millisecond, MaxUptime: 2 * time.Millisecond, MaxRounds: 3}
+	starts := 0
+	start := func() (*exec.Cmd, error) {
+		starts++
+		return exec.Command("sleep", "60"), nil
+	}
+	kills, err := k.Run(start, func() bool { return false })
+	if err == nil {
+		t.Fatal("Run with never-done work returned nil error")
+	}
+	if starts != 3 || kills != 3 {
+		t.Errorf("starts = %d, kills = %d, want 3 rounds then give up", starts, kills)
+	}
+}

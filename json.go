@@ -1,0 +1,76 @@
+package bicoop
+
+// json.go — wire-format support for the facade's enums and specs. The bccd
+// job service (internal/service, cmd/bccd) persists and accepts jobs as
+// JSON; the enums marshal as their canonical protocol/bound names so a job
+// spec reads {"protocols": ["MABC", "TDBC"], "bound": "inner"} instead of
+// bare integers, and round-trips through encoding/json (and any other
+// encoding.TextMarshaler consumer, including JSON map keys such as
+// SimResult.Fading's).
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseProtocol resolves a protocol name (case-insensitive: "DT", "Naive4",
+// "MABC", "TDBC", "HBC") to its enum value.
+func ParseProtocol(name string) (Protocol, error) {
+	for _, p := range AllProtocols() {
+		if strings.EqualFold(p.String(), name) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownProtocol, name)
+}
+
+// ParseBound resolves a bound name (case-insensitive: "inner" or "outer") to
+// its enum value.
+func ParseBound(name string) (Bound, error) {
+	for _, b := range []Bound{Inner, Outer} {
+		if strings.EqualFold(b.String(), name) {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrUnknownBound, name)
+}
+
+// MarshalText encodes the protocol as its canonical name, so JSON job specs
+// carry "MABC" instead of an opaque integer. Unknown values are an error
+// rather than a lossy encoding.
+func (p Protocol) MarshalText() ([]byte, error) {
+	if _, err := p.internal(); err != nil {
+		return nil, err
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText decodes a case-insensitive protocol name.
+func (p *Protocol) UnmarshalText(text []byte) error {
+	v, err := ParseProtocol(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// MarshalText encodes the bound as "inner" or "outer".
+func (b Bound) MarshalText() ([]byte, error) {
+	switch b {
+	case Inner, Outer:
+		return []byte(b.String()), nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownBound, int(b))
+	}
+}
+
+// UnmarshalText decodes a case-insensitive bound name.
+func (b *Bound) UnmarshalText(text []byte) error {
+	v, err := ParseBound(string(text))
+	if err != nil {
+		return err
+	}
+	*b = v
+	return nil
+}

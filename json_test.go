@@ -1,0 +1,85 @@
+package bicoop
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestParseProtocol(t *testing.T) {
+	for _, p := range AllProtocols() {
+		got, err := ParseProtocol(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseProtocol(%q) = (%v, %v), want (%v, nil)", p.String(), got, err, p)
+		}
+		lower, err := ParseProtocol("mabc")
+		if err != nil || lower != MABC {
+			t.Errorf("ParseProtocol is not case-insensitive: (%v, %v)", lower, err)
+		}
+	}
+	if _, err := ParseProtocol("FDMA"); !errors.Is(err, ErrUnknownProtocol) {
+		t.Errorf("unknown name: err = %v, want ErrUnknownProtocol", err)
+	}
+}
+
+func TestParseBound(t *testing.T) {
+	for _, b := range []Bound{Inner, Outer} {
+		got, err := ParseBound(b.String())
+		if err != nil || got != b {
+			t.Errorf("ParseBound(%q) = (%v, %v), want (%v, nil)", b.String(), got, err, b)
+		}
+	}
+	if got, err := ParseBound("OUTER"); err != nil || got != Outer {
+		t.Errorf("ParseBound is not case-insensitive: (%v, %v)", got, err)
+	}
+	if _, err := ParseBound("middle"); !errors.Is(err, ErrUnknownBound) {
+		t.Errorf("unknown name: err = %v, want ErrUnknownBound", err)
+	}
+}
+
+func TestEnumJSONRoundTrip(t *testing.T) {
+	// Protocol and Bound must survive a JSON round trip as names, the form
+	// bccd job specs are written and persisted in.
+	type wire struct {
+		Protocols []Protocol
+		Bound     Bound
+	}
+	in := wire{Protocols: AllProtocols(), Bound: Outer}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"Protocols":["DT","Naive4","MABC","TDBC","HBC"],"Bound":"outer"}`
+	if string(data) != want {
+		t.Errorf("marshal = %s, want %s", data, want)
+	}
+	var out wire
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Protocols) != len(in.Protocols) || out.Bound != in.Bound {
+		t.Errorf("round trip lost data: %+v", out)
+	}
+	for i := range out.Protocols {
+		if out.Protocols[i] != in.Protocols[i] {
+			t.Errorf("Protocols[%d] = %v, want %v", i, out.Protocols[i], in.Protocols[i])
+		}
+	}
+}
+
+func TestEnumJSONRejectsUnknown(t *testing.T) {
+	var p Protocol
+	if err := json.Unmarshal([]byte(`"FDMA"`), &p); !errors.Is(err, ErrUnknownProtocol) {
+		t.Errorf("unknown protocol name: err = %v, want ErrUnknownProtocol", err)
+	}
+	var b Bound
+	if err := json.Unmarshal([]byte(`"middle"`), &b); !errors.Is(err, ErrUnknownBound) {
+		t.Errorf("unknown bound name: err = %v, want ErrUnknownBound", err)
+	}
+	if _, err := json.Marshal(Protocol(99)); err == nil {
+		t.Error("marshaling an unknown protocol must fail, not encode lossily")
+	}
+	if _, err := json.Marshal(Bound(99)); err == nil {
+		t.Error("marshaling an unknown bound must fail, not encode lossily")
+	}
+}

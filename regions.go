@@ -70,6 +70,31 @@ type RegionBatchSpec struct {
 // Size returns the number of curves the batch will yield.
 func (spec RegionBatchSpec) Size() int { return len(spec.Scenarios) * len(spec.Curves) }
 
+// Validate checks the spec without running it: both axes non-empty, every
+// scenario finite, every curve's enums known, and the resume offset
+// non-negative. Engine.RegionBatch runs the same checks; wire-facing callers
+// (the bccd job service) validate at admission time.
+func (spec RegionBatchSpec) Validate() error {
+	if len(spec.Scenarios) == 0 || len(spec.Curves) == 0 {
+		return fmt.Errorf("%w: %d scenarios x %d curves (both axes need at least one entry)",
+			ErrInvalidRegionSpec, len(spec.Scenarios), len(spec.Curves))
+	}
+	if err := validateResume(spec.Start, ErrInvalidRegionSpec); err != nil {
+		return err
+	}
+	for i, s := range spec.Scenarios {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("scenario %d: %w", i, err)
+		}
+	}
+	for i, c := range spec.Curves {
+		if _, _, err := resolveEnums(c.Protocol, c.Bound); err != nil {
+			return fmt.Errorf("curve %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // RegionBatchPoint is one completed curve of a region batch, carrying its
 // batch coordinates alongside the polygon.
 type RegionBatchPoint struct {
@@ -95,11 +120,7 @@ func (e *Engine) RegionBatch(ctx context.Context, spec RegionBatchSpec, yield fu
 	if yield == nil {
 		return fmt.Errorf("%w: nil yield callback", ErrInvalidRegionSpec)
 	}
-	if len(spec.Scenarios) == 0 || len(spec.Curves) == 0 {
-		return fmt.Errorf("%w: %d scenarios x %d curves (both axes need at least one entry)",
-			ErrInvalidRegionSpec, len(spec.Scenarios), len(spec.Curves))
-	}
-	if err := validateResume(spec.Start, ErrInvalidRegionSpec); err != nil {
+	if err := spec.Validate(); err != nil {
 		return err
 	}
 	ispec := sweep.RegionSpec{
@@ -107,17 +128,12 @@ func (e *Engine) RegionBatch(ctx context.Context, spec RegionBatchSpec, yield fu
 		Start:      spec.Start,
 		Checkpoint: spec.Checkpoint,
 	}
-	for i, s := range spec.Scenarios {
-		if err := s.Validate(); err != nil {
-			return fmt.Errorf("scenario %d: %w", i, err)
-		}
+	for _, s := range spec.Scenarios {
 		ispec.Scenarios = append(ispec.Scenarios, sweep.Scenario(s))
 	}
-	for i, c := range spec.Curves {
-		ip, ib, err := resolveEnums(c.Protocol, c.Bound)
-		if err != nil {
-			return fmt.Errorf("curve %d: %w", i, err)
-		}
+	for _, c := range spec.Curves {
+		// Validate resolved these already; a failure here is unreachable.
+		ip, ib, _ := resolveEnums(c.Protocol, c.Bound)
 		ispec.Curves = append(ispec.Curves, sweep.RegionCurve{Proto: ip, Bound: ib})
 	}
 	opts := e.sweepOpts(spec.Workers)

@@ -100,7 +100,10 @@ func (c *FileCheckpoint) Save(watermark int) error {
 }
 
 // Load reads the last saved watermark; a missing file is watermark 0 (a
-// fresh run), so Load feeds straight into a spec's Start field.
+// fresh run), so Load feeds straight into a spec's Start field. A
+// zero-length file — what a crash between creating the file and the first
+// write leaves behind — is likewise watermark 0, not corruption: no save
+// ever completed, so a fresh run is exactly right.
 func (c *FileCheckpoint) Load() (int, error) {
 	data, err := os.ReadFile(c.Path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -109,7 +112,11 @@ func (c *FileCheckpoint) Load() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	w, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	body := strings.TrimSpace(string(data))
+	if body == "" {
+		return 0, nil
+	}
+	w, err := strconv.Atoi(body)
 	if err != nil || w < 0 {
 		return 0, fmt.Errorf("bicoop: corrupt checkpoint %s: %q", c.Path, data)
 	}

@@ -43,6 +43,24 @@ func TestFileCheckpointRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFileCheckpointEmptyFile(t *testing.T) {
+	// A crash between creating the checkpoint file and the first completed
+	// write leaves a zero-length file. That is "no checkpoint yet", not
+	// corruption: resume must start from 0, not fail loud.
+	for name, body := range map[string][]byte{"empty": nil, "whitespace": []byte(" \n")} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "ck")
+			if err := os.WriteFile(path, body, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ck := &FileCheckpoint{Path: path}
+			if w, err := ck.Load(); err != nil || w != 0 {
+				t.Fatalf("Load of %s checkpoint = (%d, %v), want (0, nil)", name, w, err)
+			}
+		})
+	}
+}
+
 func TestTranslateResilience(t *testing.T) {
 	underlying := errors.New("lp blew up")
 	internal := &sweep.ChunkError{Chunk: 3, Start: 192, End: 256, Attempt: 2, Err: underlying}

@@ -12,7 +12,11 @@
 # pair (Engine.SumRateBatch vs the same 1k-scenario grid through one-shot
 # calls), and the sharded-core pair (RunCore bare vs resilience-armed —
 # retry policy + checkpointer on a zero-fault run — pinning the happy-path
-# price of the resilience layer). The bit-true full-run benchmarks already iterate 64 blocks
+# price of the resilience layer), and the job-service pair
+# (BenchmarkServiceJobOverhead vs BenchmarkServiceJobDirect — the fixed
+# durability cost of running a sweep as a bccd job: store create, queue,
+# executor claim, checkpointed log, state renames).
+# The bit-true full-run benchmarks already iterate 64 blocks
 # internally, so they get a smaller default -benchtime than the
 # microbenchmarks.
 set -eu
@@ -26,7 +30,7 @@ cd "$(dirname "$0")/.."
 # every alternative must match an existing benchmark, and every benchmark in the
 # ledger packages must either appear here or be explicitly exempted there — a new
 # benchmark cannot be dropped from the ledger silently.
-pattern='BenchmarkSimplexSolve$|BenchmarkEvaluatorSolve|BenchmarkEvaluatorFeasible$|BenchmarkOutageTrial$|BenchmarkSumRateLP$|BenchmarkFeasibility$|BenchmarkOutageBlock$|BenchmarkFig3$|BenchmarkSNRCrossover$|BenchmarkFadingOutage$|BenchmarkBitTrueTDBCBlock$|BenchmarkBitTrueMABCBlock$|BenchmarkEngineSumRateBatch$|BenchmarkEngineSweep$|BenchmarkOneShotSumRateBatch$|BenchmarkRegionParallel$|BenchmarkCampaign$|BenchmarkRunCore$|BenchmarkRunCoreResilient$'
+pattern='BenchmarkSimplexSolve$|BenchmarkEvaluatorSolve|BenchmarkEvaluatorFeasible$|BenchmarkOutageTrial$|BenchmarkSumRateLP$|BenchmarkFeasibility$|BenchmarkOutageBlock$|BenchmarkFig3$|BenchmarkSNRCrossover$|BenchmarkFadingOutage$|BenchmarkBitTrueTDBCBlock$|BenchmarkBitTrueMABCBlock$|BenchmarkEngineSumRateBatch$|BenchmarkEngineSweep$|BenchmarkOneShotSumRateBatch$|BenchmarkRegionParallel$|BenchmarkCampaign$|BenchmarkRunCore$|BenchmarkRunCoreResilient$|BenchmarkServiceJobOverhead$|BenchmarkServiceJobDirect$'
 bitpattern='BenchmarkBitTrueTDBC$|BenchmarkBitTrueTDBCParallel$|BenchmarkBitTrueMABC$|BenchmarkBitTrueMABCParallel$'
 
 # The bench runs land in a temp file first, NOT straight into the benchjson
@@ -38,7 +42,8 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT INT TERM
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
-    . ./internal/protocols/ ./internal/sim/ ./internal/simplex/ ./internal/sweep/ > "$raw"
+    . ./internal/protocols/ ./internal/sim/ ./internal/simplex/ ./internal/sweep/ \
+    ./internal/service/ > "$raw"
 go test -run '^$' -bench "$bitpattern" -benchmem -benchtime "$bittime" \
     ./internal/sim/ >> "$raw"
 

@@ -1,0 +1,83 @@
+#!/bin/sh
+# service_chaos.sh — the bccd crash-recovery gate. Builds the daemon, runs a
+# ~30k-point sweep job to completion once (the reference), then runs the same
+# job on a fresh store under a kill -9 loop: the daemon is SIGKILLed at
+# growing uptimes and restarted over the same store until the job reports
+# done. The recovered results.csv must be byte-identical to the
+# uninterrupted run's, and at least one kill must actually land mid-job —
+# a loop that never interrupts anything proves nothing and fails.
+#
+# Usage: ./scripts/service_chaos.sh [workdir]
+set -eu
+
+work="${1:-$(mktemp -d)}"
+cd "$(dirname "$0")/.."
+go build -o "$work/bccd" ./cmd/bccd
+
+# The job: 201 powers x 30 placements x 5 protocols = 30150 points, the same
+# grid as the CLI checkpoint-resume smoke. %.17g keeps the float64 axes
+# round-trip exact, so both runs parse byte-for-byte identical specs.
+awk 'BEGIN{
+  printf "{\"sweep\":{\"base\":{\"PowerDB\":0,\"GabDB\":-7,\"GarDB\":0,\"GbrDB\":5},\"powers_db\":[";
+  for (p = 0; p <= 200; p++) printf "%s%.17g", (p ? "," : ""), p / 10;
+  printf "],\"placements\":[";
+  for (i = 0; i < 30; i++)
+    printf "%s{\"Pos\":%.17g,\"Exponent\":3,\"GabDB\":-7}", (i ? "," : ""), 0.05 + 0.9 * i / 29;
+  printf "],\"workers\":1}}";
+}' > "$work/job.json"
+
+# start_bccd <store>: launch the daemon on an ephemeral port and wait for
+# the address file. Sets $pid and $addr.
+start_bccd() {
+    rm -f "$work/addr"
+    "$work/bccd" -store "$1" -addr 127.0.0.1:0 -addrfile "$work/addr" 2>> "$work/bccd.log" &
+    pid=$!
+    for _ in $(seq 1 500); do
+        [ -s "$work/addr" ] && break
+        sleep 0.01
+    done
+    [ -s "$work/addr" ] || { echo "bccd never wrote its address" >&2; exit 1; }
+    addr="$(cat "$work/addr")"
+}
+
+submit_job() {
+    curl -sS -f -o /dev/null -X POST --data-binary @"$work/job.json" "http://$addr/v1/jobs"
+}
+
+job_done() {
+    grep -q '"done"' "$1/j000001/state.json" 2> /dev/null
+}
+
+# Reference: the same job, uninterrupted, SIGTERM-drained afterwards.
+start_bccd "$work/ref"
+submit_job
+for _ in $(seq 1 600); do
+    job_done "$work/ref" && break
+    sleep 0.05
+done
+job_done "$work/ref" || { echo "reference job never completed" >&2; exit 1; }
+kill -TERM "$pid"
+wait "$pid"
+
+# Chaos: kill -9 at growing uptimes (the growth guarantees termination even
+# on a slow runner; the small start guarantees the first kills land mid-job
+# on a fast one), restart over the same store, until the job is done.
+kills=0
+for attempt in $(seq 0 49); do
+    start_bccd "$work/chaos"
+    [ "$attempt" -eq 0 ] && submit_job
+    sleep "$(awk -v a="$attempt" 'BEGIN{printf "%.2f", 0.04 + 0.02 * a}')"
+    if job_done "$work/chaos"; then
+        kill -9 "$pid" 2> /dev/null || true
+        wait "$pid" 2> /dev/null || true
+        break
+    fi
+    kill -9 "$pid"
+    wait "$pid" 2> /dev/null || true
+    kills=$((kills + 1))
+done
+job_done "$work/chaos" || { echo "job never completed across $kills kills" >&2; exit 1; }
+[ "$kills" -ge 1 ] || { echo "job finished before the first kill; the loop proved nothing" >&2; exit 1; }
+echo "recovered from $kills SIGKILLs"
+cmp "$work/ref/j000001/results.csv" "$work/chaos/j000001/results.csv"
+echo "recovered results byte-identical to the uninterrupted run"

@@ -1,0 +1,37 @@
+#!/bin/sh
+# service_smoke.sh — quick end-to-end bccd lifecycle: build, start, submit a
+# small sweep job, wait for it, fetch the CSV, and SIGTERM-drain. Fails if
+# any step does; prints the first rows of the results on success.
+set -eu
+
+work="$(mktemp -d)"
+cd "$(dirname "$0")/.."
+go build -o "$work/bccd" ./cmd/bccd
+
+"$work/bccd" -store "$work/jobs" -addr 127.0.0.1:0 -addrfile "$work/addr" &
+pid=$!
+trap 'kill "$pid" 2> /dev/null || true' EXIT INT TERM
+for _ in $(seq 1 500); do
+    [ -s "$work/addr" ] && break
+    sleep 0.01
+done
+addr="$(cat "$work/addr")"
+
+job='{"sweep": {"base": {"PowerDB": 0, "GabDB": -7, "GarDB": 0, "GbrDB": 5}, "powers_db": [0, 5, 10, 15, 20], "placements": [{"Pos": 0.5, "Exponent": 3, "GabDB": -7}]}}'
+id="$(curl -sS -f -X POST -d "$job" "http://$addr/v1/jobs" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$id" ] || { echo "submit returned no job id" >&2; exit 1; }
+
+for _ in $(seq 1 200); do
+    state="$(curl -sS "http://$addr/v1/jobs/$id" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
+    [ "$state" = "done" ] && break
+    case "$state" in failed | canceled | timeout) echo "job landed in $state" >&2; exit 1 ;; esac
+    sleep 0.05
+done
+[ "$state" = "done" ] || { echo "job stuck in $state" >&2; exit 1; }
+
+echo "job $id done; first rows:"
+curl -sS "http://$addr/v1/jobs/$id/results" | head -4
+kill -TERM "$pid"
+wait "$pid"
+trap - EXIT INT TERM
+echo "drained cleanly"

@@ -319,6 +319,22 @@ type CampaignSpec struct {
 	Retry *RetryPolicy
 }
 
+// Validate checks the campaign without running it: at least one spec, every
+// spec statically valid, and the resume offset non-negative. SimulateBatch
+// runs the same checks; wire-facing callers (the bccd job service) validate
+// at admission time.
+func (spec CampaignSpec) Validate() error {
+	if len(spec.Specs) == 0 {
+		return fmt.Errorf("%w: campaign with no specs", ErrInvalidSimSpec)
+	}
+	for i, s := range spec.Specs {
+		if err := s.validate(); err != nil {
+			return fmt.Errorf("spec %d: %w", i, err)
+		}
+	}
+	return validateResume(spec.Start, ErrInvalidSimSpec)
+}
+
 // SimulateBatch executes a campaign. Completed results are streamed to
 // yield (when non-nil) in spec order regardless of completion order, and
 // the collected results are returned in the same order. A spec error halts
@@ -327,15 +343,7 @@ type CampaignSpec struct {
 // holds the contiguous prefix of fully completed runs (a run interrupted
 // mid-flight is discarded — campaign results are always whole runs).
 func (e *Engine) SimulateBatch(ctx context.Context, spec CampaignSpec, yield func(i int, r SimResult) error) ([]SimResult, error) {
-	if len(spec.Specs) == 0 {
-		return nil, fmt.Errorf("%w: campaign with no specs", ErrInvalidSimSpec)
-	}
-	for i, s := range spec.Specs {
-		if err := s.validate(); err != nil {
-			return nil, fmt.Errorf("spec %d: %w", i, err)
-		}
-	}
-	if err := validateResume(spec.Start, ErrInvalidSimSpec); err != nil {
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	results := make([]SimResult, len(spec.Specs))

@@ -105,6 +105,22 @@ func (spec SweepSpec) internal() (sweep.Spec, error) {
 	return out, nil
 }
 
+// Validate checks the spec without running it: axis values, protocol and
+// bound enums, and the resume offset. Engine.Sweep runs the same checks up
+// front; callers that accept specs over a wire (the bccd job service) call
+// it at admission time so a malformed job is rejected with a typed sentinel
+// before any work is queued.
+func (spec SweepSpec) Validate() error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	if err := validateResume(spec.Start, ErrInvalidSweepSpec); err != nil {
+		return err
+	}
+	_, err := spec.internal()
+	return err
+}
+
 // validate rejects non-finite spec numbers up front with the facade's typed
 // sentinels: every power-axis value, and the Base scenario where the grid
 // will actually evaluate it (placements supply their own gains, and an
@@ -187,10 +203,7 @@ func (e *Engine) Sweep(ctx context.Context, spec SweepSpec, yield func(SweepPoin
 	if yield == nil {
 		return fmt.Errorf("%w: nil yield callback", ErrInvalidSweepSpec)
 	}
-	if err := spec.validate(); err != nil {
-		return err
-	}
-	if err := validateResume(spec.Start, ErrInvalidSweepSpec); err != nil {
+	if err := spec.Validate(); err != nil {
 		return err
 	}
 	ispec, err := spec.internal()
