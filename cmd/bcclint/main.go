@@ -1,0 +1,81 @@
+// Command bcclint is the project's invariant multichecker: it runs the
+// custom analyzers in internal/lint/analyzers over the packages named by
+// its arguments and exits nonzero if any diagnostic is produced.
+//
+// Usage:
+//
+//	go run ./cmd/bcclint ./...
+//	go run ./cmd/bcclint -only detrand,errwrap ./internal/sim
+//	go run ./cmd/bcclint -list
+//
+// Diagnostics print as file:line:col: message [analyzer]. A finding is
+// either fixed or waived in place with an audited
+// "//bicoop:allow <analyzer> — reason" comment; see internal/lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bicoop/internal/lint"
+	"bicoop/internal/lint/analyzers"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	dir := flag.String("C", ".", "directory to run `go list` from (the module root)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bcclint [-only names] [-C dir] packages...\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the bicoop invariant analyzers over the named packages.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	active := analyzers.All()
+	if *only != "" {
+		var ok bool
+		active, ok = analyzers.ByName(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bcclint: unknown analyzer in -only=%s (use -list)\n", *only)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcclint: %v\n", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, p := range pkgs {
+		diags, err := lint.RunAnalyzers(p, active)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bcclint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			pos := p.Fset.Position(d.Pos)
+			fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "bcclint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

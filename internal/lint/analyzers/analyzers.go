@@ -1,0 +1,95 @@
+// Package analyzers holds bcclint's analyzer suite: the project invariants
+// that used to be enforced only after the fact (by regression tests, alloc
+// gates and bench ledgers) encoded as compile-time checks. See doc.go's
+// "Static analysis" section at the module root for the user-facing story.
+//
+// Scoping policy lives here, next to the analyzers, in the Match functions:
+//
+//   - resultPackage: packages whose output must be bit-identical across
+//     worker counts — everything except main packages, the chaos harness
+//     (whose whole point is wall-clock kill timing), the job service
+//     (which legitimately reads time for deadlines and queue accounting)
+//     and this lint tree itself.
+//   - internal/service is the only package the atomicwrite analyzer
+//     watches: that is where durable state lives.
+package analyzers
+
+import (
+	"strings"
+
+	"bicoop/internal/lint"
+)
+
+// All returns the full bcclint suite in stable order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		Detrand,
+		Noalloc,
+		Ctxflow,
+		Atomicwrite,
+		Errwrap,
+	}
+}
+
+// ByName resolves a comma-separated -only list against the suite.
+func ByName(names string) ([]*lint.Analyzer, bool) {
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// modulePath is the import-path root of this repository.
+const modulePath = "bicoop"
+
+// resultPackage reports whether pkgPath produces results whose determinism
+// the detrand invariant protects.
+func resultPackage(pkgPath, pkgName string) bool {
+	if pkgName == "main" {
+		return false // CLIs and daemons may read the clock
+	}
+	if pkgPath != modulePath && !strings.HasPrefix(pkgPath, modulePath+"/") {
+		return false // fixtures and other modules are out of scope by default
+	}
+	for _, excluded := range []string{
+		modulePath + "/internal/sweep/chaos", // kill timing is wall-clock by design
+		modulePath + "/internal/service",     // deadlines, queue accounting
+		modulePath + "/internal/lint",        // the lint tree itself
+	} {
+		if pkgPath == excluded || strings.HasPrefix(pkgPath, excluded+"/") {
+			return false
+		}
+	}
+	return true
+}
+
+// servicePackage reports whether pkgPath is the durable-state package the
+// atomicwrite invariant watches.
+func servicePackage(pkgPath, pkgName string) bool {
+	return pkgPath == modulePath+"/internal/service"
+}
+
+// moduleNonLintPackage scopes ctxflow: every package of this module except
+// the lint tree (whose fixture-shaped helpers are not entry points).
+func moduleNonLintPackage(pkgPath, pkgName string) bool {
+	if pkgPath != modulePath && !strings.HasPrefix(pkgPath, modulePath+"/") {
+		return false
+	}
+	lintTree := modulePath + "/internal/lint"
+	return pkgPath != lintTree && !strings.HasPrefix(pkgPath, lintTree+"/")
+}

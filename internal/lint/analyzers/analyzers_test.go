@@ -1,0 +1,117 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"bicoop/internal/lint/analyzers"
+	"bicoop/internal/lint/linttest"
+)
+
+func TestDetrand(t *testing.T) {
+	linttest.Run(t, analyzers.Detrand, "testdata/detrand")
+}
+
+func TestNoalloc(t *testing.T) {
+	linttest.Run(t, analyzers.Noalloc, "testdata/noalloc")
+}
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, analyzers.Ctxflow, "testdata/ctxflow")
+}
+
+// TestCtxflowMainExempt checks the package-main carve-out: the process root
+// context is main's to create, so a fixture main package with
+// context.Background produces zero diagnostics.
+func TestCtxflowMainExempt(t *testing.T) {
+	linttest.Run(t, analyzers.Ctxflow, "testdata/ctxflow_main")
+}
+
+func TestAtomicwrite(t *testing.T) {
+	linttest.Run(t, analyzers.Atomicwrite, "testdata/atomicwrite")
+}
+
+func TestErrwrap(t *testing.T) {
+	linttest.Run(t, analyzers.Errwrap, "testdata/errwrap")
+}
+
+// TestMatchScoping pins the package-scoping predicates: which repo trees
+// each analyzer patrols. linttest bypasses Match (fixtures live outside the
+// module), so the scoping contract is asserted here directly.
+func TestMatchScoping(t *testing.T) {
+	cases := []struct {
+		name    string
+		match   func(pkgPath, pkgName string) bool
+		pkgPath string
+		pkgName string
+		want    bool
+	}{
+		// detrand patrols result-producing packages only.
+		{"detrand-phy", analyzers.Detrand.Match, "bicoop/internal/phy", "phy", true},
+		{"detrand-sim", analyzers.Detrand.Match, "bicoop/internal/sim", "sim", true},
+		{"detrand-chaos", analyzers.Detrand.Match, "bicoop/internal/sweep/chaos", "chaos", false},
+		{"detrand-service", analyzers.Detrand.Match, "bicoop/internal/service", "service", false},
+		{"detrand-main", analyzers.Detrand.Match, "bicoop/cmd/bccd", "main", false},
+		{"detrand-lint", analyzers.Detrand.Match, "bicoop/internal/lint/analyzers", "analyzers", false},
+		{"detrand-foreign", analyzers.Detrand.Match, "example.com/other", "other", false},
+
+		// atomicwrite patrols exactly internal/service.
+		{"atomicwrite-service", analyzers.Atomicwrite.Match, "bicoop/internal/service", "service", true},
+		{"atomicwrite-phy", analyzers.Atomicwrite.Match, "bicoop/internal/phy", "phy", false},
+
+		// ctxflow and errwrap patrol the whole module minus the lint tree.
+		{"ctxflow-service", analyzers.Ctxflow.Match, "bicoop/internal/service", "service", true},
+		{"ctxflow-main", analyzers.Ctxflow.Match, "bicoop/cmd/bccd", "main", true},
+		{"ctxflow-lint", analyzers.Ctxflow.Match, "bicoop/internal/lint", "lint", false},
+		{"errwrap-sim", analyzers.Errwrap.Match, "bicoop/internal/sim", "sim", true},
+		{"errwrap-lint-testdata", analyzers.Errwrap.Match, "bicoop/internal/lint/analyzers", "analyzers", false},
+	}
+	for _, tc := range cases {
+		if got := tc.match(tc.pkgPath, tc.pkgName); got != tc.want {
+			t.Errorf("%s: Match(%q, %q) = %v, want %v", tc.name, tc.pkgPath, tc.pkgName, got, tc.want)
+		}
+	}
+}
+
+// TestNoallocSelfScoped pins that noalloc has no Match: it scopes itself by
+// annotation, so it must visit every package.
+func TestNoallocSelfScoped(t *testing.T) {
+	if analyzers.Noalloc.Match != nil {
+		t.Fatal("Noalloc.Match should be nil: the //bicoop:noalloc annotation is its scope")
+	}
+}
+
+// TestAll pins the registry contents and name uniqueness.
+func TestAll(t *testing.T) {
+	all := analyzers.All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"detrand", "noalloc", "ctxflow", "atomicwrite", "errwrap"} {
+		if !seen[name] {
+			t.Errorf("All() missing analyzer %q", name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	got, ok := analyzers.ByName("errwrap,detrand")
+	if !ok {
+		t.Fatal("ByName(errwrap,detrand) not found")
+	}
+	if len(got) != 2 || got[0].Name != "errwrap" || got[1].Name != "detrand" {
+		t.Fatalf("ByName(errwrap,detrand) = %v", got)
+	}
+	if _, ok := analyzers.ByName("nonesuch"); ok {
+		t.Fatal("ByName(nonesuch) should report not found")
+	}
+}

@@ -1,0 +1,55 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"bicoop/internal/lint"
+)
+
+// Atomicwrite guards the durability discipline of internal/service: every
+// durable file lands through a tmp+rename helper, never a raw write, so a
+// kill -9 at any instant leaves either the old content or the new — never
+// a torn file. The analyzer flags the raw file-creation primitives
+// (os.WriteFile, os.Create, os.OpenFile) anywhere in the package except
+// inside functions annotated //bicoop:atomicio — the hand-audited store
+// helpers that implement the tmp+rename (or truncate-to-checkpoint) dance
+// itself. New service code must route durable state through those helpers
+// or earn the annotation in review.
+var Atomicwrite = &lint.Analyzer{
+	Name:  "atomicwrite",
+	Doc:   "durable files in internal/service land only via annotated tmp+rename helpers",
+	Match: servicePackage,
+	Run:   runAtomicwrite,
+}
+
+// rawWriteFuncs are the os primitives that create or clobber a file in
+// place.
+var rawWriteFuncs = map[string]bool{
+	"WriteFile": true,
+	"Create":    true,
+	"OpenFile":  true,
+}
+
+func runAtomicwrite(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if isFunc && lint.HasDirective(fd.Doc, "atomicio") {
+				continue // an audited tmp+rename helper
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := lint.CalleeFunc(pass.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" || !rawWriteFuncs[fn.Name()] {
+					return true
+				}
+				pass.Reportf(call.Pos(), "atomicwrite: raw os.%s in internal/service; durable files go through a //bicoop:atomicio tmp+rename helper", fn.Name())
+				return true
+			})
+		}
+	}
+	return nil
+}

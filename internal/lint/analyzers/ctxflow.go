@@ -1,0 +1,124 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"bicoop/internal/lint"
+)
+
+// Ctxflow enforces the cancellation contract every long-running entry
+// point has honored since the engine refactor: exported Run*/Sweep*/
+// Simulate* functions and methods take a context.Context as their first
+// parameter (so callers can always bound them), and nobody below main
+// conjures a fresh root with context.Background()/context.TODO() (which
+// would detach work from the caller's cancellation). Main packages keep
+// the right to create the process root context; the rare legitimate
+// non-main default (a nil-Ctx config resolver) carries an audited
+// //bicoop:allow ctxflow waiver.
+var Ctxflow = &lint.Analyzer{
+	Name:  "ctxflow",
+	Doc:   "exported Run*/Sweep*/Simulate* entry points take ctx first; no context.Background outside main",
+	Match: moduleNonLintPackage,
+	Run:   runCtxflow,
+}
+
+// entryPrefixes are the naming conventions marking a long-running entry
+// point.
+var entryPrefixes = []string{"Run", "Sweep", "Simulate"}
+
+// isEntryPointName reports exported names like Run, RunOutage, SweepAll,
+// SimulateBER — an entry prefix followed by nothing or an uppercase rune
+// (so "Runtime" or "Sweeper" do not match).
+func isEntryPointName(name string) bool {
+	for _, prefix := range entryPrefixes {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := name[len(prefix):]
+		if rest == "" {
+			return true
+		}
+		r, _ := utf8.DecodeRuneInString(rest)
+		if unicode.IsUpper(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxflow(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkEntryPoint(pass, fd)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.CalleeFunc(pass.TypesInfo, call)
+			if lint.IsPkgFunc(fn, "context", "Background") || lint.IsPkgFunc(fn, "context", "TODO") {
+				if pass.Pkg.Name() == "main" {
+					return true // the process root context belongs to main
+				}
+				pass.Reportf(call.Pos(), "ctxflow: context.%s detaches work from the caller's cancellation; thread a ctx parameter instead", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkEntryPoint flags exported Run*/Sweep*/Simulate* declarations whose
+// first parameter is not a context.Context. Methods count when both the
+// receiver type name and the method name are exported — that is the
+// public entry-point surface.
+func checkEntryPoint(pass *lint.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if !ast.IsExported(name) || !isEntryPointName(name) {
+		return
+	}
+	if fd.Recv != nil && !exportedReceiver(fd.Recv) {
+		return // method on an unexported type: internal machinery
+	}
+	params := fd.Type.Params
+	if params != nil && len(params.List) > 0 {
+		if t := pass.TypesInfo.TypeOf(params.List[0].Type); t != nil && lint.IsContextContext(t) {
+			// ctx must be the sole name of the first field (ctx, x int is
+			// impossible anyway for distinct types; this is just the happy
+			// path).
+			return
+		}
+	}
+	pass.Reportf(fd.Name.Pos(), "ctxflow: exported entry point %s must take a context.Context as its first parameter", name)
+}
+
+// exportedReceiver reports whether the method receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return ast.IsExported(tt.Name)
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"bicoop/internal/lint"
+)
+
+// Errwrap enforces the typed-sentinel error discipline: sentinels are
+// matched with errors.Is (never ==/!=, which breaks the moment a wrap is
+// added anywhere in the chain), and when an error is folded into a new
+// fmt.Errorf message it is wrapped with %w, not flattened with %v/%s (which
+// severs the chain errors.Is/As walk). Two deliberate exemptions keep the
+// analyzer honest:
+//
+//   - the io package's sentinels (io.EOF and friends) are documented to be
+//     returned unwrapped by the Read contract, so == comparison against
+//     them is the established idiom;
+//   - err.Error() formatted as a string is not an error operand and stays
+//     legal — flattening on purpose is done by converting explicitly.
+var Errwrap = &lint.Analyzer{
+	Name:  "errwrap",
+	Doc:   "compare sentinels with errors.Is; wrap errors with %w, not %v",
+	Match: moduleNonLintPackage,
+	Run:   runErrwrap,
+}
+
+func runErrwrap(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSentinelCompare flags err == ErrFoo / err != ErrFoo against
+// package-level error sentinels.
+func checkSentinelCompare(pass *lint.Pass, n *ast.BinaryExpr) {
+	if n.Op != token.EQL && n.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{n.X, n.Y} {
+		v := sentinelVar(pass.TypesInfo, side)
+		if v == nil {
+			continue
+		}
+		other := n.X
+		if side == n.X {
+			other = n.Y
+		}
+		if !lint.ImplementsError(pass.TypesInfo.TypeOf(other)) {
+			continue
+		}
+		pass.Reportf(n.Pos(), "errwrap: comparing against sentinel %s with %s breaks under wrapping; use errors.Is", v.Name(), n.Op)
+		return
+	}
+}
+
+// sentinelVar resolves an expression to a package-level error variable
+// following the ErrFoo naming convention, excluding the io package's
+// contract sentinels.
+func sentinelVar(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !lint.ImplementsError(v.Type()) {
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") && !strings.HasPrefix(v.Name(), "err") {
+		return nil
+	}
+	if v.Pkg().Path() == "io" {
+		return nil // io.EOF-style contract sentinels are compared by ==
+	}
+	return v
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error operand with
+// %v or %s instead of wrapping it with %w.
+func checkErrorfWrap(pass *lint.Pass, call *ast.CallExpr) {
+	fn := lint.CalleeFunc(pass.TypesInfo, call)
+	if !lint.IsPkgFunc(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(pass.TypesInfo, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, verb := range verbs {
+		argIndex := 1 + i // args after the format string
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		if argIndex >= len(call.Args) {
+			break
+		}
+		arg := call.Args[argIndex]
+		if !lint.ImplementsError(pass.TypesInfo.TypeOf(arg)) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "errwrap: error formatted with %%%c severs the chain; wrap it with %%w", verb)
+	}
+}
+
+// constantString evaluates a compile-time constant string expression.
+func constantString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns the verb letter consumed by each successive argument
+// of a Printf-style format. '*' width/precision markers consume an
+// argument and are recorded as '*'; explicit argument indexes (%[n]d) are
+// rare in this codebase and abort the scan rather than risk misattribution.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// flags
+		for i < len(format) && strings.ContainsRune("+-# 0'", rune(format[i])) {
+			i++
+		}
+		if i < len(format) && format[i] == '[' {
+			return verbs // explicit index: bail out conservatively
+		}
+		// width
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			i++
+		}
+		if i < len(format) && format[i] == '*' {
+			verbs = append(verbs, '*')
+			i++
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+			if i < len(format) && format[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+			}
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+			i++
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,294 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bicoop/internal/lint"
+)
+
+// Noalloc enforces the 0-allocs/block contract of the hot kernels. A
+// function whose doc comment carries the //bicoop:noalloc directive may not
+// contain allocating constructs:
+//
+//   - make/new and slice/map/chan composite literals;
+//   - append, except the self-append reuse idiom `x = append(x, ...)`
+//     (growth past the preallocated capacity is caught at runtime by the
+//     AllocsPerRun gates; the lint catches the forms that always allocate
+//     a fresh backing array or header);
+//   - function literals (closure captures) and go statements;
+//   - calls into fmt and errors.New;
+//   - conversions of concrete non-pointer-shaped values to interface types
+//     (implicit at call arguments, returns and assignments, or explicit),
+//     which box the value on the heap;
+//   - string concatenation and string<->[]byte/[]rune conversions.
+//
+// One carve-out keeps the real kernels annotatable: fmt.Errorf or
+// errors.New directly inside a return statement is a cold error path —
+// taken only on misuse, never in the steady state the runtime alloc gates
+// measure — and is exempt, arguments included.
+//
+// The analyzer is self-scoping: it inspects only annotated functions, so
+// it runs on every package.
+var Noalloc = &lint.Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //bicoop:noalloc may not contain allocating constructs",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !lint.HasDirective(fd.Doc, "noalloc") {
+				continue
+			}
+			checkNoalloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkNoalloc walks one annotated function body.
+func checkNoalloc(pass *lint.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	skip := make(map[ast.Node]bool) // cold-error-path calls, exempt wholesale
+	selfAppend := make(map[ast.Node]bool)
+
+	var sig *types.Signature
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		sig, _ = obj.Type().(*types.Signature)
+	}
+
+	// Pre-pass: mark return-statement error constructors and self-appends.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isColdErrorCtor(info, call) {
+					skip[call] = true
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				break
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+					continue
+				}
+				if types.ExprString(n.Lhs[i]) == types.ExprString(call.Args[0]) {
+					selfAppend[call] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil || skip[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "noalloc: function literal captures escape to the heap")
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "noalloc: go statement allocates a goroutine")
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Chan:
+					pass.Reportf(n.Pos(), "noalloc: %s composite literal allocates", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(), "noalloc: string concatenation allocates")
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			checkReturnConversions(pass, sig, n)
+		case *ast.AssignStmt:
+			checkAssignConversions(pass, n)
+		case *ast.CallExpr:
+			checkCall(pass, n, selfAppend)
+		}
+		// Default recursion.
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			return walk(child)
+		})
+		return false
+	}
+	for _, stmt := range fd.Body.List {
+		walk(stmt)
+	}
+}
+
+// checkCall flags allocating builtins, error/fmt constructors, string
+// conversions and implicit interface conversions at call arguments.
+func checkCall(pass *lint.Pass, call *ast.CallExpr, selfAppend map[ast.Node]bool) {
+	info := pass.TypesInfo
+	switch {
+	case isBuiltin(info, call, "make"):
+		pass.Reportf(call.Pos(), "noalloc: make allocates")
+		return
+	case isBuiltin(info, call, "new"):
+		pass.Reportf(call.Pos(), "noalloc: new allocates")
+		return
+	case isBuiltin(info, call, "append"):
+		if !selfAppend[call] {
+			pass.Reportf(call.Pos(), "noalloc: append outside the `x = append(x, ...)` reuse idiom allocates a fresh backing array")
+		}
+		return
+	}
+
+	// Explicit conversion T(x).
+	if tv, ok := info.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkConversion(pass, call.Pos(), tv.Type, info.TypeOf(call.Args[0]))
+		return
+	}
+
+	if fn := lint.CalleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "noalloc: fmt.%s allocates (formatting boxes every operand)", fn.Name())
+			return
+		}
+		if lint.IsPkgFunc(fn, "errors", "New") {
+			pass.Reportf(call.Pos(), "noalloc: errors.New allocates; return a preallocated sentinel")
+			return
+		}
+	}
+
+	// Implicit interface conversions at the arguments.
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if param != nil {
+			checkImplicitConversion(pass, arg.Pos(), param, info.TypeOf(arg))
+		}
+	}
+}
+
+// checkReturnConversions flags results boxed into interface return types.
+func checkReturnConversions(pass *lint.Pass, sig *types.Signature, ret *ast.ReturnStmt) {
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return // naked return or comma-ok spread: nothing boxed lexically here
+	}
+	for i, res := range ret.Results {
+		checkImplicitConversion(pass, res.Pos(), sig.Results().At(i).Type(), pass.TypesInfo.TypeOf(res))
+	}
+}
+
+// checkAssignConversions flags concrete values boxed into interface-typed
+// destinations.
+func checkAssignConversions(pass *lint.Pass, n *ast.AssignStmt) {
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i := range n.Lhs {
+		lhs := pass.TypesInfo.TypeOf(n.Lhs[i])
+		rhs := pass.TypesInfo.TypeOf(n.Rhs[i])
+		checkImplicitConversion(pass, n.Rhs[i].Pos(), lhs, rhs)
+	}
+}
+
+// checkImplicitConversion reports dst <- src when it boxes a concrete
+// non-pointer-shaped value into an interface.
+func checkImplicitConversion(pass *lint.Pass, pos token.Pos, dst, src types.Type) {
+	if dst == nil || src == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	if _, ok := src.Underlying().(*types.Interface); ok {
+		return // interface to interface: no boxing
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if pointerShaped(src) {
+		return // the interface data word holds the pointer directly
+	}
+	pass.Reportf(pos, "noalloc: %s-to-interface conversion boxes on the heap", types.TypeString(src, types.RelativeTo(pass.Pkg)))
+}
+
+// checkConversion reports explicit conversions that allocate: interface
+// boxing and string<->byte/rune-slice copies.
+func checkConversion(pass *lint.Pass, pos token.Pos, dst, src types.Type) {
+	if dst == nil || src == nil {
+		return
+	}
+	du, su := dst.Underlying(), src.Underlying()
+	if b, ok := du.(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		if s, ok := su.(*types.Slice); ok {
+			if isByteOrRune(s.Elem()) {
+				pass.Reportf(pos, "noalloc: string conversion copies the slice")
+				return
+			}
+		}
+	}
+	if s, ok := du.(*types.Slice); ok && isByteOrRune(s.Elem()) {
+		if b, ok := su.(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			pass.Reportf(pos, "noalloc: byte/rune slice conversion copies the string")
+			return
+		}
+	}
+	checkImplicitConversion(pass, pos, dst, src)
+}
+
+func isByteOrRune(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether values of t fit the interface data word
+// without boxing.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isColdErrorCtor reports fmt.Errorf / errors.New calls, the constructors
+// exempt when they sit directly in a return statement.
+func isColdErrorCtor(info *types.Info, call *ast.CallExpr) bool {
+	fn := lint.CalleeFunc(info, call)
+	return lint.IsPkgFunc(fn, "fmt", "Errorf") || lint.IsPkgFunc(fn, "errors", "New")
+}
+
+// isBuiltin reports whether call invokes the named predeclared builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

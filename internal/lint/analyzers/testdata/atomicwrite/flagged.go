@@ -1,0 +1,18 @@
+package fixture
+
+import "os"
+
+// persistRaw writes durable state without the tmp+rename discipline.
+func persistRaw(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "raw os.WriteFile"
+}
+
+// createRaw clobbers in place.
+func createRaw(path string) (*os.File, error) {
+	return os.Create(path) // want "raw os.Create"
+}
+
+// openRaw can create or truncate.
+func openRaw(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644) // want "raw os.OpenFile"
+}

@@ -1,0 +1,33 @@
+package fixture
+
+import "context"
+
+// RunGood threads ctx first: the contract.
+func RunGood(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+// Runtime is not an entry point — no word boundary after the Run prefix.
+func Runtime() int { return 0 }
+
+// Sweeper is not an entry point either.
+func Sweeper() int { return 0 }
+
+// runInternal is unexported: free to use whatever signature fits.
+func runInternal(n int) int { return n }
+
+// engine is unexported, so its Run method is internal machinery.
+type engine struct{}
+
+// Run on an unexported receiver is not public surface.
+func (e *engine) Run(n int) error {
+	_ = n
+	return nil
+}
+
+// Waived documents an audited root context below main.
+func Waived() context.Context {
+	return context.Background() //bicoop:allow ctxflow — fixture waiver
+}

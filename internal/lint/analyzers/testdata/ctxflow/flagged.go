@@ -1,0 +1,43 @@
+package fixture
+
+import "context"
+
+// RunBad misses the ctx-first contract entirely.
+func RunBad(n int) error { // want "must take a context.Context"
+	_ = n
+	return nil
+}
+
+// SweepAllBad has no parameters at all.
+func SweepAllBad() {} // want "must take a context.Context"
+
+// SimulateDeep is an entry point by naming convention.
+func SimulateDeep(trials int) int { // want "must take a context.Context"
+	return trials
+}
+
+// RunLate takes ctx, but not first.
+func RunLate(n int, ctx context.Context) error { // want "must take a context.Context"
+	_ = ctx
+	_ = n
+	return nil
+}
+
+// Background conjures a detached root below main.
+func Background() context.Context {
+	return context.Background() // want "detaches work"
+}
+
+// Todo is no better.
+func Todo() context.Context {
+	return context.TODO() // want "detaches work"
+}
+
+// Engine is exported, so its Run method is public entry-point surface.
+type Engine struct{}
+
+// Run misses ctx on an exported method.
+func (e *Engine) Run(n int) error { // want "must take a context.Context"
+	_ = n
+	return nil
+}

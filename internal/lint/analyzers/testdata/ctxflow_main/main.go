@@ -1,0 +1,11 @@
+// Command fixture shows main's exemption: the process root context is
+// main's to create, so context.Background here is clean.
+package main
+
+import "context"
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = ctx
+}

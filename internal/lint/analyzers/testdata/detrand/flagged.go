@@ -1,0 +1,26 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Timestamp leaks the wall clock into a result.
+func Timestamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// Elapsed measures wall-clock time.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// GlobalDraw draws from the process-global generator.
+func GlobalDraw() float64 {
+	return rand.Float64() // want "global generator"
+}
+
+// GlobalShuffle permutes through the global generator.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global generator"
+}

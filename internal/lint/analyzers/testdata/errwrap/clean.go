@@ -1,0 +1,40 @@
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// matches uses errors.Is: the blessed path.
+func matches(err error) bool {
+	return errors.Is(err, ErrSpec)
+}
+
+// wraps uses %w for every error operand (Go 1.20+ accepts several).
+func wraps(err error) error {
+	return fmt.Errorf("%w: %w", ErrSpec, err)
+}
+
+// nilCheck is not a sentinel comparison.
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+// eofCompare follows the io.Reader contract: io's sentinels are documented
+// to arrive unwrapped, so == is the established idiom there.
+func eofCompare(err error) bool {
+	return err == io.EOF
+}
+
+// flattenMessage formats the rendered message, not the error value —
+// flattening on purpose looks like this.
+func flattenMessage(err error) error {
+	return fmt.Errorf("failed: %v", err.Error())
+}
+
+// widthVerb exercises the verb scanner: the starred width consumes an
+// argument before the error reaches its %w.
+func widthVerb(err error, pad int) error {
+	return fmt.Errorf("%*d names: %w", pad, 7, err)
+}

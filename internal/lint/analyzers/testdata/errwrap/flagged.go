@@ -1,0 +1,34 @@
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSpec is a typed sentinel.
+var ErrSpec = errors.New("fixture: bad spec")
+
+// compareEq matches a sentinel with ==: breaks under wrapping.
+func compareEq(err error) bool {
+	return err == ErrSpec // want "use errors.Is"
+}
+
+// compareNeq matches with !=: same hazard.
+func compareNeq(err error) bool {
+	return err != ErrSpec // want "use errors.Is"
+}
+
+// flatten formats an error operand with %v, severing the chain.
+func flatten(err error) error {
+	return fmt.Errorf("running job: %v", err) // want "wrap it with %w"
+}
+
+// flattenS does the same with %s.
+func flattenS(err error) error {
+	return fmt.Errorf("running job: %s", err) // want "wrap it with %w"
+}
+
+// flattenSecond wraps the sentinel but flattens the cause.
+func flattenSecond(err error) error {
+	return fmt.Errorf("%w: %v", ErrSpec, err) // want "wrap it with %w"
+}

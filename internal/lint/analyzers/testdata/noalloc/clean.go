@@ -1,0 +1,58 @@
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the preallocated sentinel the clean kernels return.
+var ErrBad = errors.New("fixture: bad input")
+
+// CleanKernel shows the reuse idioms the analyzer must not flag: the
+// self-append into a caller-owned buffer, copy, slicing, and the cold
+// error path (fmt.Errorf directly in a return statement, arguments
+// included).
+//
+//bicoop:noalloc
+func CleanKernel(dst, src []int, n int) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("fixture: negative n %d: %w", n, ErrBad)
+	}
+	dst = dst[:0]
+	dst = append(dst, src...)
+	copy(dst, src)
+	return dst, nil
+}
+
+type pair struct{ a, b int }
+
+// CleanStruct returns a by-value composite literal — stack, not heap.
+//
+//bicoop:noalloc
+func CleanStruct(a, b int) pair {
+	return pair{a: a, b: b}
+}
+
+// CleanSentinel returns a preallocated error: an error-typed variable
+// flowing to an error result is interface-to-interface, no boxing.
+//
+//bicoop:noalloc
+func CleanSentinel(bad bool) error {
+	if bad {
+		return ErrBad
+	}
+	return nil
+}
+
+// CleanPointer passes a pointer to an interface parameter: the interface
+// data word holds the pointer directly, no boxing.
+//
+//bicoop:noalloc
+func CleanPointer(p *pair, sink interface{ Take(any) }) {
+	sink.Take(p)
+}
+
+// Unannotated functions allocate freely; the analyzer is opt-in.
+func Unannotated(n int) []int {
+	return make([]int, n)
+}

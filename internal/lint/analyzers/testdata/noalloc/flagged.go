@@ -1,0 +1,76 @@
+package fixture
+
+import "fmt"
+
+// BadMake allocates a fresh buffer per call.
+//
+//bicoop:noalloc
+func BadMake(n int) int {
+	buf := make([]int, n) // want "make allocates"
+	return len(buf)
+}
+
+// BadNew heap-allocates.
+//
+//bicoop:noalloc
+func BadNew() *int {
+	return new(int) // want "new allocates"
+}
+
+// BadAppend grows a slice it does not own.
+//
+//bicoop:noalloc
+func BadAppend(dst, src []int) []int {
+	out := append(dst, src...) // want "append outside"
+	return out
+}
+
+// BadClosure captures onto the heap.
+//
+//bicoop:noalloc
+func BadClosure(xs []int) int {
+	f := func() int { return len(xs) } // want "function literal"
+	return f()
+}
+
+// BadFmt formats in the hot path.
+//
+//bicoop:noalloc
+func BadFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want "fmt.Sprintf allocates"
+}
+
+// BadBox boxes a scalar into an interface.
+//
+//bicoop:noalloc
+func BadBox(x int) any {
+	return x // want "int-to-interface conversion boxes"
+}
+
+// BadConcat builds a fresh string.
+//
+//bicoop:noalloc
+func BadConcat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+// BadGo spawns per call.
+//
+//bicoop:noalloc
+func BadGo(f func()) {
+	go f() // want "go statement"
+}
+
+// BadSliceLit allocates backing storage.
+//
+//bicoop:noalloc
+func BadSliceLit() []int {
+	return []int{1, 2, 3} // want "composite literal allocates"
+}
+
+// BadStringConv copies the byte slice.
+//
+//bicoop:noalloc
+func BadStringConv(b []byte) string {
+	return string(b) // want "string conversion copies"
+}

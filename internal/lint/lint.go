@@ -1,0 +1,223 @@
+// Package lint is bcclint's analysis framework: a self-contained,
+// stdlib-only reimplementation of the golang.org/x/tools/go/analysis
+// surface the project's custom analyzers need. The repo builds with zero
+// third-party modules (and must keep building in offline environments), so
+// instead of depending on x/tools the package provides the same three
+// load-bearing pieces itself:
+//
+//   - Analyzer/Pass/Diagnostic — the x/tools-shaped contract an analyzer
+//     codes against (Pass carries the parsed files, the type-checked
+//     package, and types.Info);
+//   - Load — a package loader built on `go list -export -deps -json` plus
+//     go/types with the gc export-data importer, the same mechanism
+//     x/tools' go/packages uses underneath;
+//   - directive helpers — //bicoop:noalloc, //bicoop:atomicio and
+//     //bicoop:allow <analyzer> comment handling shared by the analyzers.
+//
+// The analyzers themselves live in internal/lint/analyzers; the
+// multichecker driver is cmd/bcclint; internal/lint/linttest is the
+// analysistest-style fixture runner.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //bicoop:allow <name> waivers.
+	Name string
+	// Doc states the invariant the analyzer enforces.
+	Doc string
+	// Match, when non-nil, scopes the analyzer: drivers run it only on
+	// packages for which Match(pkgPath, pkgName) is true. The fixture
+	// runner (linttest) bypasses Match so fixtures can exercise analyzers
+	// regardless of their repo scoping; Match itself is unit-tested
+	// directly.
+	Match func(pkgPath, pkgName string) bool
+	// Run reports the package's violations through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// A Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+
+	allowLines map[string]map[string]bool // analyzer name -> "file:line" set
+}
+
+// Reportf reports a formatted diagnostic at pos unless a
+// //bicoop:allow waiver covers the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Allowed reports whether pos is covered by a //bicoop:allow <analyzer>
+// waiver: a trailing comment on the same line, or a full comment line
+// directly above. Waivers are the audited escape hatch for the rare spot
+// where an invariant legitimately does not apply; each one should say why.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	if p.allowLines == nil {
+		p.allowLines = collectAllows(p.Fset, p.Files)
+	}
+	lines := p.allowLines[p.Analyzer.Name]
+	if lines == nil {
+		return false
+	}
+	position := p.Fset.Position(pos)
+	return lines[fileLine(position.Filename, position.Line)]
+}
+
+func fileLine(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// collectAllows indexes every //bicoop:allow directive: a waiver on line L
+// covers L (trailing comment) and L+1 (comment line above the code) of the
+// file it sits in.
+func collectAllows(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+	out := make(map[string]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := allowDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := out[name]
+				if m == nil {
+					m = make(map[string]bool)
+					out[name] = m
+				}
+				m[fileLine(pos.Filename, pos.Line)] = true
+				m[fileLine(pos.Filename, pos.Line+1)] = true
+			}
+		}
+	}
+	return out
+}
+
+// allowDirective parses "//bicoop:allow <name> [— reason]".
+func allowDirective(text string) (string, bool) {
+	const prefix = "//bicoop:allow "
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := strings.TrimSpace(text[len(prefix):])
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// HasDirective reports whether the comment group (typically a FuncDecl's
+// doc) contains the directive comment //bicoop:<name>. Directive comments
+// follow the compiler's convention: no space after "//", so gofmt leaves
+// them alone.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//bicoop:" + name
+	for _, c := range doc.List {
+		text := c.Text
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// SortDiagnostics orders diagnostics by file position for stable output.
+func SortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}
+
+// CalleeFunc resolves the package-level function or method a call
+// expression invokes, or nil when the callee is not a statically known
+// *types.Func (builtins, type conversions, calls through function values).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function pkgPath.name
+// (methods never match: their receiver is non-nil).
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// ErrorType is the predeclared error interface.
+var ErrorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// ImplementsError reports whether t implements the error interface.
+func ImplementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, ErrorType)
+}
+
+// IsContextContext reports whether t is exactly context.Context.
+func IsContextContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,208 @@
+package lint
+
+// load.go — the package loader behind cmd/bcclint and linttest. It does
+// what x/tools' go/packages does in LoadAllSyntax mode for the target
+// packages, with the standard library only:
+//
+//  1. `go list -export -deps -json <patterns>` resolves every target
+//     package and its full dependency closure, compiling export data as a
+//     side effect (the build cache makes repeat runs cheap);
+//  2. each target's non-test Go files are parsed with comments;
+//  3. go/types checks each target, importing every dependency — standard
+//     library and intra-module alike — from the export data go list
+//     reported, via the gc importer's Lookup hook.
+//
+// The result is full syntax plus full type information for exactly the
+// packages named by the patterns, which is all the analyzers need.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	PkgPath string
+	Name    string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir and returns the decoded
+// package stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Standard,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportLookup maps import paths to export data files and adapts them to
+// the gc importer's Lookup hook.
+type ExportLookup map[string]string
+
+// Open implements the importer.Lookup signature.
+func (m ExportLookup) Open(path string) (io.ReadCloser, error) {
+	file, ok := m[path]
+	if !ok || file == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// ListExports resolves the dependency closure of the given import paths
+// (run from dir, typically the module root) into an ExportLookup. linttest
+// uses it to type-check fixture packages against real standard-library
+// export data.
+func ListExports(dir string, importPaths []string) (ExportLookup, error) {
+	if len(importPaths) == 0 {
+		return ExportLookup{}, nil
+	}
+	pkgs, err := goList(dir, importPaths)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(ExportLookup, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// TypeCheck parses nothing and checks the given already-parsed files as
+// one package, importing dependencies through exports.
+func TypeCheck(pkgPath string, fset *token.FileSet, files []*ast.File, exports ExportLookup) (*types.Package, *types.Info, error) {
+	imp := importer.ForCompiler(fset, "gc", exports.Open)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
+	}
+	return pkg, info, nil
+}
+
+// Load resolves the patterns (e.g. "./...") from dir and returns every
+// matched package parsed and type-checked. Test files are not loaded —
+// the invariants gate shipped code, and `go list -export` describes the
+// non-test compilation unit.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(ExportLookup, len(listed))
+	var targets []listedPackage
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	var out []*Package
+	for _, t := range targets {
+		fset := token.NewFileSet()
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := TypeCheck(t.ImportPath, fset, files, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			PkgPath: t.ImportPath,
+			Name:    t.Name,
+			Fset:    fset,
+			Files:   files,
+			Pkg:     pkg,
+			Info:    info,
+		})
+	}
+	return out, nil
+}
+
+// RunAnalyzers applies every analyzer whose Match accepts the package and
+// returns the combined, position-sorted diagnostics.
+func RunAnalyzers(p *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Match != nil && !a.Match(p.PkgPath, p.Name) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Pkg,
+			TypesInfo: p.Info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, p.PkgPath, err)
+		}
+	}
+	SortDiagnostics(p.Fset, diags)
+	return diags, nil
+}
