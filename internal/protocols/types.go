@@ -128,7 +128,7 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("%w: power %g", ErrBadScenario, s.P)
 	}
 	if err := s.G.Validate(); err != nil {
-		return fmt.Errorf("%w: %v", ErrBadScenario, err)
+		return fmt.Errorf("%w: %w", ErrBadScenario, err)
 	}
 	return nil
 }

@@ -45,7 +45,7 @@ func NewHandler(svc *Service) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 		if err != nil {
-			writeError(w, fmt.Errorf("%w: reading body: %v", ErrInvalidJob, err))
+			writeError(w, fmt.Errorf("%w: reading body: %w", ErrInvalidJob, err))
 			return
 		}
 		if len(body) > maxSpecBytes {

@@ -166,7 +166,7 @@ func ParseJobSpec(data []byte) (JobSpec, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		return JobSpec{}, fmt.Errorf("%w: %v", ErrInvalidJob, err)
+		return JobSpec{}, fmt.Errorf("%w: %w", ErrInvalidJob, err)
 	}
 	if err := spec.Validate(); err != nil {
 		return JobSpec{}, err

@@ -138,7 +138,7 @@ func deriveTDBCParams(cfg BitTrueConfig) (tdbcParams, []float64, error) {
 		}
 		durations, err = spec.DurationsFor(cfg.Rates)
 		if err != nil {
-			return tdbcParams{}, nil, fmt.Errorf("%w: %v", ErrInfeasibleRates, err)
+			return tdbcParams{}, nil, fmt.Errorf("%w: %w", ErrInfeasibleRates, err)
 		}
 	}
 	if len(durations) != 3 {

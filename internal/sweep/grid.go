@@ -166,7 +166,7 @@ func (spec Spec) resolve() (resolvedGrid, error) {
 		for pi, pl := range spec.Placements {
 			s, err := pl.scenario(pdb)
 			if err != nil {
-				return resolvedGrid{}, fmt.Errorf("%w: placement %d: %v", ErrSpec, pi, err)
+				return resolvedGrid{}, fmt.Errorf("%w: placement %d: %w", ErrSpec, pi, err)
 			}
 			g.scen = append(g.scen, s)
 			g.placeIdx = append(g.placeIdx, pi)
@@ -177,7 +177,7 @@ func (spec Spec) resolve() (resolvedGrid, error) {
 	for i, e := range spec.Erasures {
 		net := sim.ErasureNetwork{EpsAR: e.EpsAR, EpsBR: e.EpsBR, EpsAB: e.EpsAB}
 		if err := net.Validate(); err != nil {
-			return resolvedGrid{}, fmt.Errorf("%w: erasure %d: %v", ErrSpec, i, err)
+			return resolvedGrid{}, fmt.Errorf("%w: erasure %d: %w", ErrSpec, i, err)
 		}
 		g.erasures = append(g.erasures, net.LinkInfos())
 	}

@@ -159,7 +159,7 @@ func (e *Engine) RegionBatch(ctx context.Context, spec RegionBatchSpec, yield fu
 	case yieldErr != nil && errors.Is(err, yieldErr):
 		return yieldErr // the caller's own error, returned verbatim
 	case errors.Is(err, sweep.ErrSpec):
-		return fmt.Errorf("%w: %v", ErrInvalidRegionSpec, err)
+		return fmt.Errorf("%w: %w", ErrInvalidRegionSpec, err)
 	default:
 		return fmt.Errorf("bicoop: %w", translateResilience(err))
 	}

@@ -248,12 +248,12 @@ func (e *Engine) Sweep(ctx context.Context, spec SweepSpec, yield func(SweepPoin
 	case yieldErr != nil && errors.Is(err, yieldErr):
 		return yieldErr // the caller's own error, returned verbatim
 	case errors.Is(err, sweep.ErrSpec):
-		return fmt.Errorf("%w: %v", ErrInvalidSweepSpec, err)
+		return fmt.Errorf("%w: %w", ErrInvalidSweepSpec, err)
 	case errors.Is(err, protocols.ErrBadScenario):
 		// A grid point resolved to an unusable scenario (e.g. a placement
 		// whose geometry produced non-finite gains): surface the facade's
 		// typed sentinel, like the pre-sharding sweep did.
-		return fmt.Errorf("%w: %v", ErrInvalidScenario, err)
+		return fmt.Errorf("%w: %w", ErrInvalidScenario, err)
 	default:
 		return fmt.Errorf("bicoop: %w", translateResilience(err))
 	}
