@@ -72,6 +72,11 @@ type ResultLog struct {
 // truncating any stale leftover), a saved watermark means resume (csvPath
 // must exist; it is truncated to the checkpointed offset and appended to),
 // and a corrupt checkpoint is a loud error, never a silent restart.
+//
+// The CSV stream is checkpoint-truncated rather than tmp+renamed: rows past
+// the last Save are reproducible partial output by design.
+//
+//bicoop:atomicio — audited checkpoint-truncate open of the CSV stream
 func OpenResultLog(csvPath, ckPath string) (*ResultLog, error) {
 	l := &ResultLog{ckPath: ckPath}
 	if ckPath != "" {
@@ -134,6 +139,8 @@ func (l *ResultLog) Printf(format string, args ...any) error {
 
 // Save implements bicoop.Checkpointer: flush the rows the watermark covers,
 // then atomically replace the checkpoint with {watermark, current offset}.
+//
+//bicoop:atomicio — tmp+rename of the checkpoint file
 func (l *ResultLog) Save(watermark int) error {
 	if err := l.buf.Flush(); err != nil {
 		return err

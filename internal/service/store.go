@@ -112,6 +112,8 @@ func (s *Store) CheckpointPath(id string) string {
 
 // Create durably records a new queued job and returns its id. The directory
 // appears atomically: populated under a temp name, then renamed.
+//
+//bicoop:atomicio — populates a temp directory, then renames it into place
 func (s *Store) Create(spec JobSpec) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -147,6 +149,8 @@ func (s *Store) Create(spec JobSpec) (string, error) {
 
 // SetState durably records a job's state transition (tmp+rename, so a crash
 // mid-write keeps the previous state readable).
+//
+//bicoop:atomicio — tmp+rename of state.json
 func (s *Store) SetState(id string, state State, errMsg string) error {
 	data, err := json.Marshal(stateRecord{State: state, Error: errMsg})
 	if err != nil {
