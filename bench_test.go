@@ -27,7 +27,7 @@ import (
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Run(id, experiments.Config{Quick: true, Seed: 1}); err != nil {
+		if _, err := experiments.Run(context.Background(), id, experiments.Config{Quick: true, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -103,7 +103,7 @@ func BenchmarkBlahutArimoto(b *testing.B) { benchExperiment(b, "blahut") }
 func BenchmarkAllExperimentsRendered(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, id := range bicoop.Experiments() {
-			if err := bicoop.RunExperiment(id, true, 1, io.Discard); err != nil {
+			if err := bicoop.RunExperiment(context.Background(), id, true, 1, io.Discard); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -189,10 +189,9 @@ type Region struct {
 
 // RateRegion computes the full rate region of a protocol bound (one curve
 // of Fig 4). It is a one-shot convenience over DefaultEngine().Region with
-// a background context and default options; prefer the engine for
-// cancellation and the Angles/Workers knobs.
-func RateRegion(p Protocol, b Bound, s Scenario) (Region, error) {
-	return defaultEngine.Region(context.Background(), p, b, s, RegionOptions{})
+// default options; prefer the engine for the Angles/Workers knobs.
+func RateRegion(ctx context.Context, p Protocol, b Bound, s Scenario) (Region, error) {
+	return defaultEngine.Region(ctx, p, b, s, RegionOptions{})
 }
 
 // Vertices returns the polygon's vertices in counter-clockwise order.
@@ -278,9 +277,9 @@ type FadingStats struct {
 
 // SimulateFading runs the quasi-static Rayleigh fading Monte Carlo. It is a
 // one-shot convenience over DefaultEngine().Simulate with a FadingSpec;
-// prefer the engine for cancellation, worker control, and progress.
-func SimulateFading(cfg FadingConfig) (map[Protocol]FadingStats, error) {
-	res, err := defaultEngine.Simulate(context.Background(), SimSpec{
+// prefer the engine for worker control and progress.
+func SimulateFading(ctx context.Context, cfg FadingConfig) (map[Protocol]FadingStats, error) {
+	res, err := defaultEngine.Simulate(ctx, SimSpec{
 		Fading: &FadingSpec{
 			Scenario:  cfg.Scenario,
 			Protocols: cfg.Protocols,
@@ -361,9 +360,9 @@ type BitTrueTDBCConfig struct {
 // random linear codes, overheard side information, XOR network coding at the
 // relay, Gaussian-elimination decoding. Trials are sharded across Workers
 // goroutines. It is a one-shot convenience over DefaultEngine().Simulate
-// with a BitTrueTDBCSpec; prefer the engine for cancellation and progress.
-func SimulateBitTrueTDBC(cfg BitTrueTDBCConfig) (BitTrueResult, error) {
-	res, err := defaultEngine.Simulate(context.Background(), SimSpec{
+// with a BitTrueTDBCSpec; prefer the engine for progress reporting.
+func SimulateBitTrueTDBC(ctx context.Context, cfg BitTrueTDBCConfig) (BitTrueResult, error) {
+	res, err := defaultEngine.Simulate(ctx, SimSpec{
 		BitTrueTDBC: &BitTrueTDBCSpec{
 			Links:       cfg.Links,
 			Rates:       cfg.Rates,
@@ -471,8 +470,8 @@ type BitTrueMABCConfig struct {
 // (physical-layer network coding) and rebroadcasts it. Trials are sharded
 // across cfg.Workers goroutines. It is a one-shot convenience over
 // DefaultEngine().Simulate with a BitTrueMABCSpec.
-func SimulateBitTrueMABC(cfg BitTrueMABCConfig) (BitTrueResult, error) {
-	res, err := defaultEngine.Simulate(context.Background(), SimSpec{
+func SimulateBitTrueMABC(ctx context.Context, cfg BitTrueMABCConfig) (BitTrueResult, error) {
+	res, err := defaultEngine.Simulate(ctx, SimSpec{
 		BitTrueMABC: &BitTrueMABCSpec{
 			Links:       cfg.Links,
 			Rate:        cfg.Rate,
@@ -503,10 +502,9 @@ func DescribeExperiment(id string) (string, error) {
 
 // RunExperiment executes a reproduction experiment and renders its charts,
 // tables and findings to w. Quick mode reduces resolutions for fast runs.
-// It is a convenience over DefaultEngine().RunExperiment with a background
-// context.
-func RunExperiment(id string, quick bool, seed int64, w io.Writer) error {
-	return defaultEngine.RunExperiment(context.Background(), id, quick, seed, w)
+// It is a convenience over DefaultEngine().RunExperiment.
+func RunExperiment(ctx context.Context, id string, quick bool, seed int64, w io.Writer) error {
+	return defaultEngine.RunExperiment(ctx, id, quick, seed, w)
 }
 
 func renderResult(res experiments.Result, w io.Writer) error {

@@ -1,6 +1,7 @@
 package bicoop
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -77,7 +78,7 @@ func TestOptimalSumRateFacade(t *testing.T) {
 }
 
 func TestRateRegionFacade(t *testing.T) {
-	r, err := RateRegion(TDBC, Inner, fig4(10))
+	r, err := RateRegion(context.Background(), TDBC, Inner, fig4(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,10 +101,10 @@ func TestRateRegionFacade(t *testing.T) {
 	if _, ok := r.MaxRbAt(r.MaxRa() + 1); ok {
 		t.Error("MaxRbAt beyond the region should report false")
 	}
-	if _, err := RateRegion(Protocol(99), Inner, fig4(0)); err == nil {
+	if _, err := RateRegion(context.Background(), Protocol(99), Inner, fig4(0)); err == nil {
 		t.Error("want error for unknown protocol")
 	}
-	if _, err := RateRegion(MABC, Bound(99), fig4(0)); err == nil {
+	if _, err := RateRegion(context.Background(), MABC, Bound(99), fig4(0)); err == nil {
 		t.Error("want error for unknown bound")
 	}
 }
@@ -190,7 +191,7 @@ func TestHBCBeyondOuterBoundsFacade(t *testing.T) {
 }
 
 func TestSimulateFadingFacade(t *testing.T) {
-	stats, err := SimulateFading(FadingConfig{
+	stats, err := SimulateFading(context.Background(), FadingConfig{
 		Scenario: fig4(5),
 		Target:   RatePoint{Ra: 0.3, Rb: 0.3},
 		Trials:   300,
@@ -213,13 +214,13 @@ func TestSimulateFadingFacade(t *testing.T) {
 	if stats[HBC].MeanOptSumRate < stats[MABC].MeanOptSumRate-1e-9 {
 		t.Error("HBC fading mean below MABC")
 	}
-	if _, err := SimulateFading(FadingConfig{Scenario: fig4(5), Protocols: []Protocol{Protocol(99)}}); err == nil {
+	if _, err := SimulateFading(context.Background(), FadingConfig{Scenario: fig4(5), Protocols: []Protocol{Protocol(99)}}); err == nil {
 		t.Error("want error for unknown protocol")
 	}
 }
 
 func TestSimulateBitTrueTDBCFacade(t *testing.T) {
-	res, err := SimulateBitTrueTDBC(BitTrueTDBCConfig{
+	res, err := SimulateBitTrueTDBC(context.Background(), BitTrueTDBCConfig{
 		Links:       ErasureLinks{EpsAR: 0.1, EpsBR: 0.1, EpsAB: 0.5},
 		Rates:       RatePoint{Ra: 0.15, Rb: 0.15},
 		BlockLength: 1500,
@@ -233,7 +234,7 @@ func TestSimulateBitTrueTDBCFacade(t *testing.T) {
 	if res.SuccessProb < 0.8 {
 		t.Errorf("success %v, want >= 0.8 for comfortable rates", res.SuccessProb)
 	}
-	if _, err := SimulateBitTrueTDBC(BitTrueTDBCConfig{
+	if _, err := SimulateBitTrueTDBC(context.Background(), BitTrueTDBCConfig{
 		Links: ErasureLinks{EpsAR: 2}, Rates: RatePoint{Ra: 0.1, Rb: 0.1},
 		BlockLength: 100, Trials: 2, Seed: 1,
 	}); err == nil {
@@ -268,7 +269,7 @@ func TestExperimentFacade(t *testing.T) {
 		t.Error("want error for unknown experiment")
 	}
 	var sb strings.Builder
-	if err := RunExperiment("crossover", true, 1, &sb); err != nil {
+	if err := RunExperiment(context.Background(), "crossover", true, 1, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -277,7 +278,7 @@ func TestExperimentFacade(t *testing.T) {
 			t.Errorf("rendered output missing %q", want)
 		}
 	}
-	if err := RunExperiment("nope", true, 1, &sb); err == nil {
+	if err := RunExperiment(context.Background(), "nope", true, 1, &sb); err == nil {
 		t.Error("want error for unknown experiment")
 	}
 }
@@ -338,7 +339,7 @@ func TestComputeForwardMABCFacade(t *testing.T) {
 		t.Fatalf("bound %v durations %v", bound, durations)
 	}
 	run := func(rate float64) (BitTrueResult, error) {
-		return SimulateBitTrueMABC(BitTrueMABCConfig{
+		return SimulateBitTrueMABC(context.Background(), BitTrueMABCConfig{
 			Links: links, Rate: rate,
 			BlockLength: 2000, Trials: 12, Seed: 3,
 			Workers: 2, // pinned so results do not depend on GOMAXPROCS
@@ -358,7 +359,7 @@ func TestComputeForwardMABCFacade(t *testing.T) {
 	if fail.SuccessProb > 0.1 {
 		t.Errorf("success %v at 120%% of the bound, want ~0", fail.SuccessProb)
 	}
-	if _, err := SimulateBitTrueMABC(BitTrueMABCConfig{
+	if _, err := SimulateBitTrueMABC(context.Background(), BitTrueMABCConfig{
 		Links: MABCComputeForwardLinks{EpsMAC: -1},
 		Rate:  0.1, BlockLength: 100, Trials: 2, Seed: 1,
 	}); err == nil {

@@ -56,7 +56,7 @@ func run(args []string) error {
 	if *workers > 0 {
 		engOpts = append(engOpts, bicoop.WithWorkers(*workers))
 	}
-	svc := service.New(st, bicoop.NewEngine(engOpts...), service.Options{
+	svc := service.New(context.Background(), st, bicoop.NewEngine(engOpts...), service.Options{
 		QueueCap:  *queue,
 		Executors: *jobs,
 	})

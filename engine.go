@@ -268,7 +268,7 @@ func (e *Engine) Feasible(p Protocol, b Bound, s Scenario, pt RatePoint) (bool, 
 // The context bounds the run: cancelling it stops in-flight Monte Carlo
 // work within one trial (and analytic sweeps within one chunk).
 func (e *Engine) RunExperiment(ctx context.Context, id string, quick bool, seed int64, w io.Writer) error {
-	res, err := experiments.Run(id, experiments.Config{Quick: quick, Seed: seed, Ctx: ctx})
+	res, err := experiments.Run(ctx, id, experiments.Config{Quick: quick, Seed: seed})
 	if err != nil {
 		return fmt.Errorf("bicoop: %w", err)
 	}
@@ -280,7 +280,7 @@ func (e *Engine) RunExperiment(ctx context.Context, id string, quick bool, seed 
 // every chart and table — to the two writers. This is the same pipeline the
 // repository's golden-file tests pin under internal/experiments/testdata.
 func (e *Engine) RunExperimentArtifacts(ctx context.Context, id string, quick bool, seed int64, text, csv io.Writer) error {
-	res, err := experiments.Run(id, experiments.Config{Quick: quick, Seed: seed, Ctx: ctx})
+	res, err := experiments.Run(ctx, id, experiments.Config{Quick: quick, Seed: seed})
 	if err != nil {
 		return fmt.Errorf("bicoop: %w", err)
 	}

@@ -141,7 +141,7 @@ func TestSimulateMatchesLegacyFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	legacy, err := bicoop.SimulateFading(bicoop.FadingConfig{
+	legacy, err := bicoop.SimulateFading(context.Background(), bicoop.FadingConfig{
 		Scenario: s,
 		Target:   bicoop.RatePoint{Ra: 0.5, Rb: 0.5},
 		Trials:   300,

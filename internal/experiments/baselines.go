@@ -188,7 +188,7 @@ func runBER(cfg Config) (Result, error) {
 		ys := make([]float64, len(snrsDB))
 		for i, sdb := range snrsDB {
 			snr := xmath.FromDB(sdb)
-			directSim, err := phy.SimulateBER(m, snr, nBits, rng)
+			directSim, err := phy.SimulateBER(cfg.ctx(), m, snr, nBits, rng)
 			if err != nil {
 				return Result{}, err
 			}
@@ -198,7 +198,7 @@ func runBER(cfg Config) (Result, error) {
 			}
 			// AF path: relay halfway in gain terms (g1 = g2 = sqrt(snr)
 			// keeps the end-to-end budget comparable).
-			afSim, err := phy.SimulateAFBER(m, snr, 1, 1, nBits, rng)
+			afSim, err := phy.SimulateAFBER(cfg.ctx(), m, snr, 1, 1, nBits, rng)
 			if err != nil {
 				return Result{}, err
 			}

@@ -24,11 +24,6 @@ type Config struct {
 	Quick bool
 	// Seed drives every randomized component.
 	Seed int64
-	// Ctx, when non-nil, bounds the run: experiments hand it to every Monte
-	// Carlo simulator and analytic sweep they drive, so cancelling it stops
-	// in-flight work within one trial or chunk. Nil means
-	// context.Background().
-	Ctx context.Context
 	// Workers bounds the goroutines sharding the analytic figure sweeps,
 	// the region batches, and the outer pool of the Monte Carlo campaigns;
 	// zero means GOMAXPROCS. Results are bit-identical for every value (the
@@ -36,14 +31,21 @@ type Config struct {
 	// reproducibility, so campaign resharding never changes a random
 	// stream).
 	Workers int
+
+	// runCtx bounds the run; Run threads its ctx argument here, and every
+	// runner hands it to the Monte Carlo simulators and analytic sweeps it
+	// drives, so cancelling it stops in-flight work within one trial or
+	// chunk.
+	runCtx context.Context
 }
 
-// ctx resolves the run context.
+// ctx resolves the run context. The Background fallback only triggers for a
+// zero-value Config handed straight to a runner (tests), never through Run.
 func (c Config) ctx() context.Context {
-	if c.Ctx != nil {
-		return c.Ctx
+	if c.runCtx != nil {
+		return c.runCtx
 	}
-	return context.Background()
+	return context.Background() //bicoop:allow ctxflow — zero-value Config means an unbounded run by contract
 }
 
 // sweepOpts resolves the sharding options for analytic sweeps.
@@ -111,12 +113,13 @@ func Describe(id string) (string, error) {
 	return e.description, nil
 }
 
-// Run executes the experiment with the given configuration.
-func Run(id string, cfg Config) (Result, error) {
+// Run executes the experiment with the given configuration, bounded by ctx.
+func Run(ctx context.Context, id string, cfg Config) (Result, error) {
 	e, ok := registry[id]
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %q (known: %v)", ErrUnknown, id, IDs())
 	}
+	cfg.runCtx = ctx
 	res, err := e.run(cfg)
 	if err != nil {
 		return Result{}, fmt.Errorf("experiments: %s: %w", id, err)

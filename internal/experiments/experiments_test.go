@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -45,7 +46,7 @@ func TestDescribe(t *testing.T) {
 }
 
 func TestRunUnknown(t *testing.T) {
-	if _, err := Run("nope", Config{Quick: true}); !errors.Is(err, ErrUnknown) {
+	if _, err := Run(context.Background(), "nope", Config{Quick: true}); !errors.Is(err, ErrUnknown) {
 		t.Errorf("err = %v, want ErrUnknown", err)
 	}
 }
@@ -57,7 +58,7 @@ func TestRunAllQuick(t *testing.T) {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
-			res, err := Run(id, Config{Quick: true, Seed: 1})
+			res, err := Run(context.Background(), id, Config{Quick: true, Seed: 1})
 			if err != nil {
 				t.Fatalf("Run(%q): %v", id, err)
 			}
@@ -107,7 +108,7 @@ func TestRunAllQuick(t *testing.T) {
 }
 
 func TestFig3FindingMentionsStrictHBC(t *testing.T) {
-	res, err := Run("fig3", Config{Quick: false, Seed: 1})
+	res, err := Run(context.Background(), "fig3", Config{Quick: false, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestFig3FindingMentionsStrictHBC(t *testing.T) {
 }
 
 func TestFig4FindsEscapeAtHighSNR(t *testing.T) {
-	res, err := Run("fig4b", Config{Quick: true, Seed: 1})
+	res, err := Run(context.Background(), "fig4b", Config{Quick: true, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -31,7 +32,7 @@ func TestGoldenFigures(t *testing.T) {
 	for _, id := range goldenIDs {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			res, err := Run(id, Config{Quick: true, Seed: 1})
+			res, err := Run(context.Background(), id, Config{Quick: true, Seed: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -81,7 +82,7 @@ func truncateForDiff(b []byte) []byte {
 // experiment: rendering and CSV flushing must succeed and be non-empty,
 // whether or not the figure is in the golden set.
 func TestArtifactShape(t *testing.T) {
-	res, err := Run("fig3", Config{Quick: true, Seed: 1})
+	res, err := Run(context.Background(), "fig3", Config{Quick: true, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

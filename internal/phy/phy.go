@@ -10,11 +10,17 @@
 package phy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 )
+
+// cancelCheckEvery is the symbol stride between context checks in the Monte
+// Carlo loops: coarse enough to cost nothing, fine enough to stop a long
+// run promptly.
+const cancelCheckEvery = 1 << 14
 
 // Modulation selects a constellation. All constellations are normalized to
 // unit average symbol energy.
@@ -202,8 +208,9 @@ func TheoreticalBER(m Modulation, snr float64) (float64, error) {
 }
 
 // SimulateBER measures the BER of a direct link at SNR `snr` over nBits
-// information bits using hard-decision demodulation.
-func SimulateBER(m Modulation, snr float64, nBits int, rng *rand.Rand) (float64, error) {
+// information bits using hard-decision demodulation. ctx bounds the run;
+// cancellation is observed between symbol batches.
+func SimulateBER(ctx context.Context, m Modulation, snr float64, nBits int, rng *rand.Rand) (float64, error) {
 	if rng == nil {
 		return 0, errors.New("phy: nil RNG")
 	}
@@ -226,6 +233,9 @@ func SimulateBER(m Modulation, snr float64, nBits int, rng *rand.Rand) (float64,
 	amp := math.Sqrt(snr)
 	rx := make([]complex128, len(syms))
 	for i, s := range syms {
+		if i%cancelCheckEvery == 0 && ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
 		rx[i] = complex(amp, 0)*s + awgn(rng)
 	}
 	// Coherent scaling does not change hard decisions for these symmetric
@@ -259,7 +269,8 @@ func AFLinkSNR(p, gSrcRelay, gRelayDst float64) float64 {
 // level: the source modulates, the relay amplifies its noisy observation,
 // and the destination coherently rescales and hard-slices. The measured
 // BER must match TheoreticalBER(m, AFLinkSNR(...)), which tests assert.
-func SimulateAFBER(m Modulation, p, gSrcRelay, gRelayDst float64, nBits int, rng *rand.Rand) (float64, error) {
+// ctx bounds the run; cancellation is observed between symbol batches.
+func SimulateAFBER(ctx context.Context, m Modulation, p, gSrcRelay, gRelayDst float64, nBits int, rng *rand.Rand) (float64, error) {
 	if rng == nil {
 		return 0, errors.New("phy: nil RNG")
 	}
@@ -289,6 +300,9 @@ func SimulateAFBER(m Modulation, p, gSrcRelay, gRelayDst float64, nBits int, rng
 	rx := make([]complex128, len(syms))
 	scale := ampTx * h1 * a * h2 // coherent end-to-end signal amplitude
 	for i, s := range syms {
+		if i%cancelCheckEvery == 0 && ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
 		yr := complex(ampTx*h1, 0)*s + awgn(rng)
 		yd := complex(a*h2, 0)*yr + awgn(rng)
 		rx[i] = yd / complex(scale, 0)

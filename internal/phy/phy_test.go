@@ -1,6 +1,7 @@
 package phy
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -171,7 +172,7 @@ func TestSimulatedBERMatchesTheory(t *testing.T) {
 			}
 			// Enough bits for ~1000 expected errors.
 			nBits := int(math.Max(2e5, 1000/want))
-			got, err := SimulateBER(tt.m, tt.snr, nBits, rng)
+			got, err := SimulateBER(context.Background(), tt.m, tt.snr, nBits, rng)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -184,13 +185,13 @@ func TestSimulatedBERMatchesTheory(t *testing.T) {
 
 func TestSimulateBERValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	if _, err := SimulateBER(BPSK, 1, 100, nil); err == nil {
+	if _, err := SimulateBER(context.Background(), BPSK, 1, 100, nil); err == nil {
 		t.Error("nil RNG should error")
 	}
-	if _, err := SimulateBER(BPSK, 1, 0, rng); err == nil {
+	if _, err := SimulateBER(context.Background(), BPSK, 1, 0, rng); err == nil {
 		t.Error("zero bits should error")
 	}
-	if _, err := SimulateBER(Modulation(9), 1, 100, rng); err == nil {
+	if _, err := SimulateBER(context.Background(), Modulation(9), 1, 100, rng); err == nil {
 		t.Error("unknown modulation should error")
 	}
 }
@@ -256,7 +257,7 @@ func TestSimulateAFBERMatchesEffectiveSNRTheory(t *testing.T) {
 			if nBits > 4e6 {
 				nBits = 4e6
 			}
-			got, err := SimulateAFBER(tt.m, tt.p, tt.g1, tt.g2, nBits, rng)
+			got, err := SimulateAFBER(context.Background(), tt.m, tt.p, tt.g1, tt.g2, nBits, rng)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -269,16 +270,16 @@ func TestSimulateAFBERMatchesEffectiveSNRTheory(t *testing.T) {
 
 func TestSimulateAFBERValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	if _, err := SimulateAFBER(BPSK, 1, 1, 1, 100, nil); err == nil {
+	if _, err := SimulateAFBER(context.Background(), BPSK, 1, 1, 1, 100, nil); err == nil {
 		t.Error("nil RNG should error")
 	}
-	if _, err := SimulateAFBER(BPSK, 0, 1, 1, 100, rng); err == nil {
+	if _, err := SimulateAFBER(context.Background(), BPSK, 0, 1, 1, 100, rng); err == nil {
 		t.Error("zero power should error")
 	}
-	if _, err := SimulateAFBER(BPSK, 1, 1, 1, 0, rng); err == nil {
+	if _, err := SimulateAFBER(context.Background(), BPSK, 1, 1, 1, 0, rng); err == nil {
 		t.Error("zero bits should error")
 	}
-	if _, err := SimulateAFBER(Modulation(9), 1, 1, 1, 100, rng); err == nil {
+	if _, err := SimulateAFBER(context.Background(), Modulation(9), 1, 1, 1, 100, rng); err == nil {
 		t.Error("unknown modulation should error")
 	}
 }

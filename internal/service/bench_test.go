@@ -31,7 +31,7 @@ func BenchmarkServiceJobOverhead(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	svc := New(st, bicoop.NewEngine(), Options{QueueCap: 1})
+	svc := New(context.Background(), st, bicoop.NewEngine(), Options{QueueCap: 1})
 	if err := svc.Start(); err != nil {
 		b.Fatal(err)
 	}

@@ -11,6 +11,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -49,7 +50,7 @@ func runKillChild(storeDir, addrFile string) {
 		fmt.Fprintln(os.Stderr, "kill child:", err)
 		os.Exit(1)
 	}
-	svc := New(st, bicoop.NewEngine(), Options{})
+	svc := New(context.Background(), st, bicoop.NewEngine(), Options{})
 	if err := svc.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "kill child:", err)
 		os.Exit(1)
@@ -155,7 +156,7 @@ func TestKillNineResumeByteIdentical(t *testing.T) {
 				Grow:      15 * time.Millisecond,
 				MaxRounds: 150,
 			}
-			kills, err := killer.Run(start, done)
+			kills, err := killer.Run(context.Background(), start, done)
 			if err != nil {
 				t.Fatal(err)
 			}

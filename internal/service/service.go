@@ -89,8 +89,10 @@ type Service struct {
 }
 
 // New assembles a service over an opened store. Call Start to recover
-// persisted jobs and begin executing.
-func New(store *Store, eng *bicoop.Engine, opts Options) *Service {
+// persisted jobs and begin executing. ctx is the service's root: every job
+// execution derives from it, and cancelling it (in addition to Shutdown)
+// stops in-flight work.
+func New(ctx context.Context, store *Store, eng *bicoop.Engine, opts Options) *Service {
 	if opts.QueueCap <= 0 {
 		opts.QueueCap = 16
 	}
@@ -105,7 +107,7 @@ func New(store *Store, eng *bicoop.Engine, opts Options) *Service {
 		jobs:      make(map[string]*job),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
+	s.baseCtx, s.baseCancel = context.WithCancelCause(ctx)
 	return s
 }
 

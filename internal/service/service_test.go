@@ -53,7 +53,7 @@ func newTestService(t *testing.T, dir string, opts Options) (*Service, *Store) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc := New(st, bicoop.NewEngine(), opts)
+	svc := New(context.Background(), st, bicoop.NewEngine(), opts)
 	if err := svc.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +261,7 @@ func TestDrainParksRunningJobAndRestartResumes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	svc1 := New(st1, bicoop.NewEngine(), Options{})
+	svc1 := New(context.Background(), st1, bicoop.NewEngine(), Options{})
 	if err := svc1.Start(); err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@ package chaos
 // the fault injector, so a failing schedule reproduces from its seed.
 
 import (
+	"context"
 	"fmt"
 	"os/exec"
 	"time"
@@ -54,12 +55,16 @@ func (k *ProcKiller) Uptime(r int) time.Duration {
 // done reports true the current process is killed a final time and Run
 // returns the number of kills performed. The final state is whatever the
 // durable store says — the caller asserts on that, not on process exit.
-func (k *ProcKiller) Run(start func() (*exec.Cmd, error), done func() bool) (kills int, err error) {
+// Cancelling ctx kills the current process and returns ctx's error.
+func (k *ProcKiller) Run(ctx context.Context, start func() (*exec.Cmd, error), done func() bool) (kills int, err error) {
 	rounds := k.MaxRounds
 	if rounds <= 0 {
 		rounds = 50
 	}
 	for r := 0; r < rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return kills, err
+		}
 		cmd, err := start()
 		if err != nil {
 			return kills, fmt.Errorf("round %d: start: %w", r, err)
@@ -71,7 +76,12 @@ func (k *ProcKiller) Run(start func() (*exec.Cmd, error), done func() bool) (kil
 		}
 		deadline := time.Now().Add(k.Uptime(r))
 		finished := false
+		canceled := false
 		for time.Now().Before(deadline) {
+			if ctx.Err() != nil {
+				canceled = true
+				break
+			}
 			if done() {
 				finished = true
 				break
@@ -84,6 +94,9 @@ func (k *ProcKiller) Run(start func() (*exec.Cmd, error), done func() bool) (kil
 		// store.
 		cmd.Process.Kill()
 		cmd.Wait()
+		if canceled {
+			return kills, ctx.Err()
+		}
 		if !finished && done() {
 			finished = true // completed in the instant before the kill landed
 		}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"os/exec"
 	"testing"
 	"time"
@@ -43,7 +44,7 @@ func TestProcKillerRunGivesUpAfterMaxRounds(t *testing.T) {
 		starts++
 		return exec.Command("sleep", "60"), nil
 	}
-	kills, err := k.Run(start, func() bool { return false })
+	kills, err := k.Run(context.Background(), start, func() bool { return false })
 	if err == nil {
 		t.Fatal("Run with never-done work returned nil error")
 	}

@@ -29,7 +29,7 @@ func TestRegionMatchesLegacyFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	legacy, err := bicoop.RateRegion(bicoop.TDBC, bicoop.Inner, s)
+	legacy, err := bicoop.RateRegion(context.Background(), bicoop.TDBC, bicoop.Inner, s)
 	if err != nil {
 		t.Fatal(err)
 	}
