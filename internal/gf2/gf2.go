@@ -52,6 +52,8 @@ func RandomVector(n int, r *rand.Rand) Vector {
 
 // Randomize refills v with uniformly random bits drawn from r, in place.
 // It consumes exactly one Uint64 per backing word, like RandomVector.
+//
+//bicoop:noalloc
 func (v *Vector) Randomize(r *rand.Rand) {
 	for i := range v.words {
 		v.words[i] = r.Uint64()
@@ -108,6 +110,8 @@ func (v Vector) Xor(w Vector) (Vector, error) {
 // XorWith adds w into v in place (v ^= w), zero-extending w when it is
 // shorter than v. It is the allocation-free companion of Xor for hot loops
 // (stripping known side information, accumulating a padded XOR).
+//
+//bicoop:noalloc
 func (v *Vector) XorWith(w Vector) error {
 	if w.n > v.n {
 		return fmt.Errorf("%w: xor of %d bits into %d", ErrShape, w.n, v.n)
@@ -121,6 +125,8 @@ func (v *Vector) XorWith(w Vector) error {
 // CopyPrefix fills v with the first v.Len() bits of src, zero-padding when
 // src is shorter than v. It is the word-level primitive behind both row
 // truncation (v shorter than src) and zero-padded embedding (v longer).
+//
+//bicoop:noalloc
 func (v *Vector) CopyPrefix(src Vector) {
 	nw := len(src.words)
 	if len(v.words) < nw {
@@ -136,6 +142,8 @@ func (v *Vector) CopyPrefix(src Vector) {
 // Dot returns the GF(2) inner product of the overlapping prefix of a and b
 // (bits past the shorter vector's length contribute nothing). Word-level:
 // XOR of per-word ANDs, then one popcount parity.
+//
+//bicoop:noalloc
 func Dot(a, b Vector) int {
 	nw := len(a.words)
 	if len(b.words) < nw {
@@ -214,6 +222,8 @@ func RandomMatrix(rows, cols int, r *rand.Rand) Matrix {
 // codes per block without reallocating the generators. Row views and
 // Received observations taken from the matrix before the redraw alias the
 // new contents afterwards.
+//
+//bicoop:noalloc
 func (m *Matrix) Rerandomize(r *rand.Rand) {
 	for i := 0; i < m.rows; i++ {
 		row := m.RowView(i)
@@ -296,6 +306,8 @@ func (m Matrix) MulVec(x Vector) (Vector, error) {
 
 // MulVecInto computes m·x into dst without allocating; dst must have m.rows
 // bits and x must have m.cols bits.
+//
+//bicoop:noalloc
 func (m Matrix) MulVecInto(dst *Vector, x Vector) error {
 	if x.n != m.cols {
 		return fmt.Errorf("%w: vector %d bits, matrix %d cols", ErrShape, x.n, m.cols)
@@ -370,6 +382,8 @@ func (c Code) Encode(w Vector) (Vector, error) {
 
 // EncodeInto maps a k-bit message to its n-bit codeword in dst without
 // allocating; dst must have N() bits.
+//
+//bicoop:noalloc
 func (c Code) EncodeInto(dst *Vector, w Vector) error {
 	return c.G.MulVecInto(dst, w)
 }

@@ -75,6 +75,8 @@ func (s *Solver) begin(nrows, cols int) {
 
 // loadSpare copies one equation (row words + RHS bit) into the spare slot
 // after the current basis and returns the slot's words.
+//
+//bicoop:noalloc
 func (s *Solver) loadSpare(rank int, words []uint64, rhs uint64) []uint64 {
 	t := s.tab[rank*s.stride : (rank+1)*s.stride]
 	wpr := s.stride - 1
@@ -90,6 +92,8 @@ func (s *Solver) loadSpare(rank int, words []uint64, rhs uint64) []uint64 {
 // leading column if the row is independent (the caller then promotes the
 // spare slot to a pivot row), or -1 if the row reduced to zero; zero reports
 // whether the surviving RHS bit is zero (consistency of a dependent row).
+//
+//bicoop:noalloc
 func (s *Solver) reduce(cur []uint64) (lead int, zero bool) {
 	wpr := s.stride - 1
 	for w := 0; w < wpr; {
@@ -116,6 +120,8 @@ func (s *Solver) reduce(cur []uint64) (lead int, zero bool) {
 // finishSolve turns the outcome of the basis build into the old Solve
 // semantics (inconsistency takes precedence over underdetermination) and
 // extracts the solution when it is unique.
+//
+//bicoop:noalloc
 func (s *Solver) finishSolve(dst *Vector, rank int, inconsistent bool) error {
 	if inconsistent {
 		return ErrInconsistent
@@ -131,6 +137,8 @@ func (s *Solver) finishSolve(dst *Vector, rank int, inconsistent bool) error {
 // Pivot columns are processed in descending order: a pivot row's bits
 // beyond its own column only involve columns whose solution bit is already
 // known, so each step is one word-level dot product from the pivot's word.
+//
+//bicoop:noalloc
 func (s *Solver) backSubstitute(dst *Vector) {
 	for w := range dst.words {
 		dst.words[w] = 0
@@ -166,6 +174,7 @@ func (s *Solver) SolveConsistentInto(dst *Vector, k int, rows []Vector, bits []i
 	return s.solveRows(dst, k, rows, bits, true)
 }
 
+//bicoop:noalloc
 func (s *Solver) solveRows(dst *Vector, k int, rows []Vector, bits []int, consistent bool) error {
 	if len(rows) != len(bits) {
 		return fmt.Errorf("%w: %d rows, %d bits", ErrShape, len(rows), len(bits))

@@ -306,6 +306,8 @@ func newTDBCWorker(net ErasureNetwork, p tdbcParams, seed int64) *tdbcWorker {
 }
 
 // reset prepares the accumulators for a new block without releasing storage.
+//
+//bicoop:noalloc
 func (w *tdbcWorker) reset() {
 	w.relayRowsA, w.relayRowsB = w.relayRowsA[:0], w.relayRowsB[:0]
 	w.relayBitsA, w.relayBitsB = w.relayBitsA[:0], w.relayBitsB[:0]
@@ -314,6 +316,8 @@ func (w *tdbcWorker) reset() {
 }
 
 // runTrial runs one block and tallies the outcome.
+//
+//bicoop:noalloc
 func (w *tdbcWorker) runTrial() {
 	ok, relayOK := w.runBlock()
 	switch {
@@ -329,6 +333,8 @@ func (w *tdbcWorker) runTrial() {
 // runBlock simulates one block. Returns (success, relayDecoded). The RNG
 // draw order is exactly the historical sequential engine's, so a
 // single-worker run reproduces its results bit for bit.
+//
+//bicoop:noalloc
 func (w *tdbcWorker) runBlock() (bool, bool) {
 	w.reset()
 	net, p := w.net, w.p

@@ -227,6 +227,8 @@ func newMABCWorker(cfg MABCBitTrueConfig, k, n1, n2 int, seed int64) *mabcWorker
 }
 
 // runTrial runs one block and tallies the outcome.
+//
+//bicoop:noalloc
 func (w *mabcWorker) runTrial() {
 	ok, relayOK := w.runBlock()
 	switch {
@@ -241,6 +243,8 @@ func (w *mabcWorker) runTrial() {
 
 // runBlock simulates one block. Returns (success, relayDecoded). The RNG
 // draw order matches the historical sequential engine exactly.
+//
+//bicoop:noalloc
 func (w *mabcWorker) runBlock() (bool, bool) {
 	w.wa.Randomize(w.rng)
 	w.wb.Randomize(w.rng)
@@ -280,6 +284,8 @@ func (w *mabcWorker) runBlock() (bool, bool) {
 
 // decodeBroadcast receives the relay broadcast through a link with erasure
 // probability eps and decodes it into dst.
+//
+//bicoop:noalloc
 func (w *mabcWorker) decodeBroadcast(dst *gf2.Vector, eps float64) bool {
 	w.rows, w.bits = w.rows[:0], w.bits[:0]
 	for i := 0; i < w.n2; i++ {

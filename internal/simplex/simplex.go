@@ -489,6 +489,8 @@ func (t *tableau) maxIter() int {
 }
 
 // pivot performs a standard simplex pivot on (row, col).
+//
+//bicoop:noalloc
 func (t *tableau) pivot(row, col int) {
 	pr := t.rows[row]
 	pv := pr[col]
@@ -515,6 +517,7 @@ func (t *tableau) pivot(row, col int) {
 	t.iterCount++
 }
 
+//bicoop:noalloc
 func (t *tableau) eliminateObjRow(objRow []float64, col int, pr []float64) {
 	factor := objRow[col]
 	if factor == 0 {
@@ -527,6 +530,8 @@ func (t *tableau) eliminateObjRow(objRow []float64, col int, pr []float64) {
 
 // ratioRow picks the leaving row by the minimum-ratio test with Bland
 // tie-breaking (smallest basis index). Returns -1 when unbounded.
+//
+//bicoop:noalloc
 func (t *tableau) ratioRow(col int) int {
 	bestRow := -1
 	bestRatio := math.Inf(1)
@@ -551,6 +556,8 @@ func (t *tableau) ratioRow(col int) int {
 // cost, fewest pivots in practice); if the iteration count ever reaches the
 // Bland threshold — which only a degenerate cycle does on these tiny LPs —
 // it switches to Bland's rule, whose termination guarantee then applies.
+//
+//bicoop:noalloc
 func (t *tableau) iterate(objRow []float64, allowCols int) error {
 	limit := t.maxIter()
 	blandAt := limit / 2
