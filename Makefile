@@ -1,11 +1,21 @@
 # Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
 
-.PHONY: all build vet test bench bench-smoke bench-baseline bench-compare fmt-check region-artifacts bccd service-smoke service-chaos
+.PHONY: all build vet test bench bench-smoke bench-baseline bench-compare fmt-check lint region-artifacts bccd service-smoke service-chaos
 
-all: build vet test
+all: build vet test lint
 
 fmt-check:
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	@out="$$(gofmt -s -l .)"; if [ -n "$$out" ]; then echo "files need gofmt -s:"; echo "$$out"; exit 1; fi
+
+# lint runs the project's own invariant analyzers (cmd/bcclint: detrand,
+# noalloc, ctxflow, atomicwrite, errwrap — see doc.go "Static analysis").
+# staticcheck and govulncheck ride along when installed; CI pins their
+# versions and always runs them, so locally they are best-effort extras
+# rather than a hard dependency of the target.
+lint:
+	go run ./cmd/bcclint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck -checks 'SA*' ./...; else echo "staticcheck not installed; skipping (CI runs it pinned)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "govulncheck not installed; skipping (CI runs it pinned)"; fi
 
 build:
 	go build ./...

@@ -271,4 +271,41 @@
 // runs the same compare with a looser threshold (cross-machine ns/op), so a
 // perf regression fails the PR instead of silently rotting the ledger; the
 // bench.sh pattern lists themselves are guarded by TestBenchLedgerCoverage.
+//
+// # Static analysis
+//
+// The repository's cross-cutting invariants — the rules the sections above
+// state in prose — are enforced mechanically by cmd/bcclint, a stdlib-only
+// multichecker built on internal/lint. `make lint` (or
+// `go run ./cmd/bcclint ./...`) runs five project analyzers:
+//
+//   - detrand: result-producing packages draw no nondeterminism — no
+//     global math/rand (seeds travel in specs) and no wall-clock reads —
+//     so every result stays a pure function of its inputs and the
+//     bit-identical-across-Workers contract survives.
+//   - noalloc: functions annotated `//bicoop:noalloc` (the gf2, simplex
+//     and bit-true per-block kernels) must not contain allocating
+//     constructs; the annotation turns the "zero allocations per block"
+//     claim into a compile-time-checkable contract alongside the
+//     AllocsPerRun tests.
+//   - ctxflow: exported Run*/Sweep*/Simulate* entry points take a
+//     context.Context first, and nothing outside package main mints its
+//     own context.Background/TODO — cancellation always threads from the
+//     caller.
+//   - atomicwrite: internal/service writes durable files only through
+//     functions annotated `//bicoop:atomicio` (tmp+rename or an audited
+//     checkpoint-truncate), keeping the kill -9 recovery story auditable
+//     at the call-site level.
+//   - errwrap: sentinel comparisons use errors.Is, and fmt.Errorf wraps
+//     with %w rather than flattening with %v/%s, so errors.Is/As keep
+//     working across API layers.
+//
+// A finding is fixed, or waived in place with a one-line audited comment
+// `//bicoop:allow <analyzer> — reason` covering that line and the next.
+// The suite runs clean over the whole module and CI's lint job keeps it
+// that way, alongside version-pinned staticcheck (SA checks) and
+// govulncheck. The analyzers are plain go/ast+go/types passes loaded via
+// `go list -export` (no external dependencies); their fixtures live in
+// internal/lint/analyzers/testdata with both flagged and deliberately
+// clean near-miss cases.
 package bicoop
