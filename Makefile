@@ -8,7 +8,8 @@ fmt-check:
 	@out="$$(gofmt -s -l .)"; if [ -n "$$out" ]; then echo "files need gofmt -s:"; echo "$$out"; exit 1; fi
 
 # lint runs the project's own invariant analyzers (cmd/bcclint: detrand,
-# noalloc, ctxflow, atomicwrite, errwrap — see doc.go "Static analysis").
+# noalloc, ctxflow, atomicwrite, errwrap, cachekey — see doc.go "Static
+# analysis").
 # staticcheck and govulncheck ride along when installed; CI pins their
 # versions and always runs them, so locally they are best-effort extras
 # rather than a hard dependency of the target.
@@ -45,7 +46,8 @@ bench-baseline:
 # with the stricter same-machine threshold).
 bench-compare:
 	./scripts/bench.sh BENCH_ci.json 50x 3x
-	go run ./cmd/benchjson compare BENCH_after.json BENCH_ci.json -threshold 1.25
+	go run ./cmd/benchjson compare BENCH_after.json BENCH_ci.json -threshold 1.25 \
+		-min-speedup 'BenchmarkSumRateBatchCachedMiss/BenchmarkSumRateBatchCachedHit:5'
 
 # bccd builds the crash-safe job daemon (see doc.go "Running bccd").
 bccd:

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"bicoop"
+	"bicoop/internal/cache"
 	"bicoop/internal/channel"
 	"bicoop/internal/dmc"
 	"bicoop/internal/experiments"
@@ -385,6 +386,74 @@ func BenchmarkCampaign(b *testing.B) {
 		}
 		if len(res) != len(specs) {
 			b.Fatal("short campaign")
+		}
+	}
+}
+
+// --- Result cache (internal/cache threaded through the engine). ---
+
+// BenchmarkSumRateBatchCachedHit measures SumRateBatch when every point is
+// served from the result cache: the store is prefilled by one batch before
+// the timer starts. The committed ledger gates this against
+// BenchmarkSumRateBatchCachedMiss via `benchjson compare -min-speedup` —
+// the hit path must stay much cheaper than re-solving.
+func BenchmarkSumRateBatchCachedHit(b *testing.B) {
+	st := cache.NewStore(1 << 13)
+	eng := bicoop.NewEngine(bicoop.WithCacheStore(st))
+	scenarios := batchScenarios()
+	ctx := context.Background()
+	if _, err := eng.SumRateBatch(ctx, bicoop.HBC, bicoop.Inner, scenarios); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SumRateBatch(ctx, bicoop.HBC, bicoop.Inner, scenarios); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSumRateBatchCachedMiss measures the same batch with the store
+// reset every iteration, so every point misses and solves cold — the
+// denominator of the cache-gate speedup check.
+func BenchmarkSumRateBatchCachedMiss(b *testing.B) {
+	st := cache.NewStore(1 << 13)
+	eng := bicoop.NewEngine(bicoop.WithCacheStore(st))
+	scenarios := batchScenarios()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		if _, err := eng.SumRateBatch(ctx, bicoop.HBC, bicoop.Inner, scenarios); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepCached measures the Fig 3 style placement sweep (the
+// BenchmarkEngineSweep workload) fully served from a warm result cache.
+func BenchmarkSweepCached(b *testing.B) {
+	eng := bicoop.NewEngine(bicoop.WithCache(1 << 13))
+	spec := bicoop.SweepSpec{PowersDB: []float64{15}}
+	for i := 0; i < 37; i++ {
+		spec.Placements = append(spec.Placements,
+			bicoop.RelayPlacement{Pos: 0.05 + 0.9*float64(i)/36, Exponent: 3})
+	}
+	ctx := context.Background()
+	if _, err := eng.SweepAll(ctx, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := eng.SweepAll(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != spec.Size() {
+			b.Fatal("short sweep")
 		}
 	}
 }

@@ -1,0 +1,330 @@
+package bicoop_test
+
+// cache_test.go — the result cache's public contract: cache-on output is
+// bit-identical to cache-off output, for every worker count, whether a
+// point hits or misses. The references here are always COLD solves —
+// Engine.SumRate singles or another cache-enabled run — because cached
+// runs disable LP warm starting (see internal/cache's package doc): a
+// degenerate LP has several optimal vertices, and the warm pivot path may
+// pick a different one than the cold path, so warm-batch rates are NOT
+// comparable bitwise for the LP-backed protocols (Naive4, HBC). The
+// closed-form protocols (DT, MABC, TDBC) are history-free, so for them
+// cached output must equal even the warm uncached batch bit for bit.
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bicoop"
+)
+
+// allBounds pairs every protocol with both bounds.
+func allBounds() []bicoop.RegionCurve {
+	var out []bicoop.RegionCurve
+	for _, p := range bicoop.AllProtocols() {
+		out = append(out,
+			bicoop.RegionCurve{Protocol: p, Bound: bicoop.Inner},
+			bicoop.RegionCurve{Protocol: p, Bound: bicoop.Outer})
+	}
+	return out
+}
+
+// sameResult compares two sum-rate results bit for bit (nil and empty
+// duration slices are the same zero-phase answer).
+func sameResult(a, b bicoop.SumRateResult) bool {
+	if a.Sum != b.Sum || a.Point != b.Point || len(a.Durations) != len(b.Durations) {
+		return false
+	}
+	for i := range a.Durations {
+		if a.Durations[i] != b.Durations[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCachedSumRateMatchesUncached pins hit == miss == uncached for the
+// singles path: a plain engine's SumRate is already a cold pooled solve,
+// so the cached engine must reproduce it exactly, before and after the
+// key is in the store.
+func TestCachedSumRateMatchesUncached(t *testing.T) {
+	plain := bicoop.NewEngine()
+	cached := bicoop.NewEngine(bicoop.WithCache(1 << 12))
+	for _, c := range allBounds() {
+		for _, s := range grid(8) {
+			want, wantErr := plain.SumRate(c.Protocol, c.Bound, s)
+			miss, missErr := cached.SumRate(c.Protocol, c.Bound, s)
+			hit, hitErr := cached.SumRate(c.Protocol, c.Bound, s)
+			if (wantErr == nil) != (missErr == nil) || (wantErr == nil) != (hitErr == nil) {
+				t.Fatalf("%v/%v: error mismatch: uncached %v, miss %v, hit %v",
+					c.Protocol, c.Bound, wantErr, missErr, hitErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if !sameResult(want, miss) {
+				t.Errorf("%v/%v %+v: miss differs from uncached: %+v vs %+v", c.Protocol, c.Bound, s, miss, want)
+			}
+			if !sameResult(want, hit) {
+				t.Errorf("%v/%v %+v: hit differs from uncached: %+v vs %+v", c.Protocol, c.Bound, s, hit, want)
+			}
+		}
+	}
+	cs := cached.CacheStats()
+	if cs.Hits == 0 || cs.Misses == 0 {
+		t.Fatalf("test exercised no hits or no misses: %+v", cs)
+	}
+}
+
+// TestCachedBatchBitIdenticalAcrossWorkers pins the tentpole contract at
+// Workers 1, 2 and 7: a cached batch over a scenario stream with repeats
+// returns the same bytes for every worker count, equal to the cached
+// singles, and a rerun on a warm store (all hits) changes nothing.
+func TestCachedBatchBitIdenticalAcrossWorkers(t *testing.T) {
+	// Deliberate repeats: the 48-scenario stream has only 16 distinct
+	// points, so hits and misses interleave within one batch.
+	base := grid(16)
+	scenarios := make([]bicoop.Scenario, 0, 48)
+	for i := 0; i < 48; i++ {
+		scenarios = append(scenarios, base[i%len(base)])
+	}
+	singles := bicoop.NewEngine(bicoop.WithCache(1 << 12))
+	ctx := context.Background()
+	for _, proto := range bicoop.AllProtocols() {
+		var want []bicoop.SumRateResult
+		for _, s := range scenarios {
+			r, err := singles.SumRate(proto, bicoop.Inner, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, r)
+		}
+		for _, workers := range []int{1, 2, 7} {
+			eng := bicoop.NewEngine(bicoop.WithCache(1<<12), bicoop.WithWorkers(workers))
+			for pass := 0; pass < 2; pass++ { // pass 0 fills, pass 1 is all hits
+				got, err := eng.SumRateBatch(ctx, proto, bicoop.Inner, scenarios)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if !sameResult(got[i], want[i]) {
+						t.Fatalf("%v workers=%d pass=%d point %d: %+v != %+v",
+							proto, workers, pass, i, got[i], want[i])
+					}
+				}
+			}
+			// Fills is exact (one insert per distinct key — a racing
+			// duplicate solve lands as an overwrite, not a fill); misses
+			// can exceed the distinct count only through such races.
+			cs := eng.CacheStats()
+			if cs.Fills != uint64(len(base)) {
+				t.Errorf("%v workers=%d: fills=%d, want %d distinct points", proto, workers, cs.Fills, len(base))
+			}
+			if total := uint64(2 * len(scenarios)); cs.Hits+cs.Misses != total {
+				t.Errorf("%v workers=%d: hits+misses=%d, want %d lookups", proto, workers, cs.Hits+cs.Misses, total)
+			}
+		}
+	}
+}
+
+// TestCachedFastPathMatchesWarmBatch pins that for the closed-form
+// protocols (no LP, no pivot history) a cached batch equals the plain
+// warm-started batch bit for bit — caching must be invisible there even
+// against the warm reference.
+func TestCachedFastPathMatchesWarmBatch(t *testing.T) {
+	plain := bicoop.NewEngine()
+	cached := bicoop.NewEngine(bicoop.WithCache(1 << 12))
+	ctx := context.Background()
+	scenarios := grid(64)
+	for _, proto := range []bicoop.Protocol{bicoop.DT, bicoop.MABC, bicoop.TDBC} {
+		want, err := plain.SumRateBatch(ctx, proto, bicoop.Inner, scenarios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cached.SumRateBatch(ctx, proto, bicoop.Inner, scenarios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !sameResult(got[i], want[i]) {
+				t.Fatalf("%v point %d: cached %+v != warm uncached %+v", proto, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCachedRandomizedEquivalence is the seeded fuzz pass: random
+// (protocol, bound, scenario) queries with repeats against one cached
+// engine, every answer checked against an uncached engine, and the
+// CacheStats accounting identities checked exactly at the end.
+func TestCachedRandomizedEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	plain := bicoop.NewEngine()
+	cached := bicoop.NewEngine(bicoop.WithCache(1 << 12))
+	curves := allBounds()
+	// A small scenario pool guarantees repeats; quantization-identical
+	// coordinates must land on the same entry.
+	pool := make([]bicoop.Scenario, 12)
+	for i := range pool {
+		pool[i] = bicoop.Scenario{
+			PowerDB: -5 + 25*rng.Float64(),
+			GabDB:   -10 + 8*rng.Float64(),
+			GarDB:   -2 + 4*rng.Float64(),
+			GbrDB:   3 + 4*rng.Float64(),
+		}
+	}
+	const queries = 400
+	type query struct {
+		p bicoop.Protocol
+		b bicoop.Bound
+		s bicoop.Scenario
+	}
+	distinct := map[query]bool{}
+	for i := 0; i < queries; i++ {
+		c := curves[rng.Intn(len(curves))]
+		s := pool[rng.Intn(len(pool))]
+		distinct[query{c.Protocol, c.Bound, s}] = true
+		want, wantErr := plain.SumRate(c.Protocol, c.Bound, s)
+		got, gotErr := cached.SumRate(c.Protocol, c.Bound, s)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("query %d %v/%v: error mismatch %v vs %v", i, c.Protocol, c.Bound, wantErr, gotErr)
+		}
+		if wantErr == nil && !sameResult(got, want) {
+			t.Fatalf("query %d %v/%v %+v: %+v != %+v", i, c.Protocol, c.Bound, s, got, want)
+		}
+	}
+	cs := cached.CacheStats()
+	if cs.Hits+cs.Misses != queries {
+		t.Errorf("hits %d + misses %d != %d lookups", cs.Hits, cs.Misses, queries)
+	}
+	if cs.Misses != uint64(len(distinct)) || cs.Fills != uint64(len(distinct)) {
+		t.Errorf("misses=%d fills=%d, want both == %d distinct queries", cs.Misses, cs.Fills, len(distinct))
+	}
+	if cs.Evictions != 0 {
+		t.Errorf("evictions=%d below capacity, want 0", cs.Evictions)
+	}
+}
+
+// TestCachedSweepMatchesCanonical pins SweepAll (including the erasure
+// axis) on a cached engine against an independent cold cached run, and a
+// warm-store rerun against the first pass.
+func TestCachedSweepMatchesCanonical(t *testing.T) {
+	spec := bicoop.SweepSpec{
+		Base:     bicoop.Scenario{GabDB: -7, GarDB: 0, GbrDB: 5},
+		PowersDB: []float64{0, 5, 10},
+		Erasures: []bicoop.ErasureLinks{{EpsAR: 0.2, EpsBR: 0.1, EpsAB: 0.6}},
+		Workers:  2,
+	}
+	ctx := context.Background()
+	first := bicoop.NewEngine(bicoop.WithCache(1 << 12))
+	second := bicoop.NewEngine(bicoop.WithCache(1<<12), bicoop.WithWorkers(7))
+	a, err := first.SweepAll(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := second.SweepAll(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerun, err := first.SweepAll(ctx, spec) // served from the warm store
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := first.CacheStats(); cs.Hits == 0 {
+		t.Fatalf("rerun recorded no hits: %+v", cs)
+	}
+	for i := range a {
+		if !sameResult(a[i].Result, b[i].Result) {
+			t.Errorf("point %d: independent cold cached runs differ: %+v vs %+v", i, a[i].Result, b[i].Result)
+		}
+		if !sameResult(a[i].Result, rerun[i].Result) {
+			t.Errorf("point %d: warm-store rerun differs: %+v vs %+v", i, rerun[i].Result, a[i].Result)
+		}
+	}
+}
+
+// TestCachedRegionMatchesCanonical pins RegionBatch vertex caching: two
+// independent cached engines at different worker counts and a warm-store
+// rerun must produce identical polygons.
+func TestCachedRegionMatchesCanonical(t *testing.T) {
+	spec := bicoop.RegionBatchSpec{
+		Scenarios: []bicoop.Scenario{{PowerDB: 10, GabDB: -7, GarDB: 0, GbrDB: 5}},
+		Curves:    allBounds(),
+		Angles:    31,
+	}
+	ctx := context.Background()
+	collect := func(eng *bicoop.Engine, workers int) [][]bicoop.RatePoint {
+		s := spec
+		s.Workers = workers
+		var out [][]bicoop.RatePoint
+		if err := eng.RegionBatch(ctx, s, func(pt bicoop.RegionBatchPoint) error {
+			out = append(out, pt.Region.Vertices())
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := bicoop.NewEngine(bicoop.WithCache(1 << 13))
+	a := collect(first, 1)
+	b := collect(bicoop.NewEngine(bicoop.WithCache(1<<13)), 7)
+	rerun := collect(first, 2)
+	if cs := first.CacheStats(); cs.Hits == 0 {
+		t.Fatalf("rerun recorded no hits: %+v", cs)
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) || len(a[i]) != len(rerun[i]) {
+			t.Fatalf("curve %d: vertex counts differ: %d cold, %d cold-w7, %d warm", i, len(a[i]), len(b[i]), len(rerun[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] || a[i][j] != rerun[i][j] {
+				t.Fatalf("curve %d vertex %d: %v vs %v vs %v", i, j, a[i][j], b[i][j], rerun[i][j])
+			}
+		}
+	}
+}
+
+// TestCachedConcurrentReaders hammers one cached engine from concurrent
+// goroutines mixing hits and misses; every result must equal the cold
+// reference. Runs under -race in CI.
+func TestCachedConcurrentReaders(t *testing.T) {
+	scenarios := grid(32)
+	plain := bicoop.NewEngine()
+	want := make([]bicoop.SumRateResult, len(scenarios))
+	for i, s := range scenarios {
+		r, err := plain.SumRate(bicoop.HBC, bicoop.Inner, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	cached := bicoop.NewEngine(bicoop.WithCache(1 << 12))
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for iter := 0; iter < 20; iter++ {
+				i := rng.Intn(len(scenarios))
+				got, err := cached.SumRate(bicoop.HBC, bicoop.Inner, scenarios[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !sameResult(got, want[i]) {
+					t.Errorf("goroutine %d: point %d: %+v != %+v", g, i, got, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

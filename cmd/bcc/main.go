@@ -455,6 +455,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 	ckPath := fs.String("checkpoint", "", "checkpoint file enabling resume across reruns; requires -o")
 	workers := fs.Int("workers", 0, "goroutines sharding the grid (0 = GOMAXPROCS)")
 	retries := fs.Int("retries", 0, "retry failed chunks up to this many attempts (0 = fail fast)")
+	cacheCap := fs.Int("cache", 0, "in-process result-cache capacity in entries; repeated points (e.g. across placements) are served from cache (0 = off)")
 	timeout := timeoutFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -492,7 +493,14 @@ func cmdSweep(ctx context.Context, args []string) error {
 	}
 	ctx, cancel := withDeadline(ctx, *timeout)
 	defer cancel()
-	return runSweepCSV(ctx, spec, *out, *ckPath)
+	sweepEng := eng
+	if *cacheCap > 0 {
+		// A dedicated engine so the cached run solves cold (see the cache
+		// package doc): results stay byte-identical whether points hit or
+		// miss, at the cost of not warm-starting the misses.
+		sweepEng = bicoop.NewEngine(bicoop.WithCache(*cacheCap))
+	}
+	return runSweepCSV(ctx, sweepEng, spec, *out, *ckPath)
 }
 
 // parsePowers parses the power axis: "lo:hi:step" (inclusive) or a comma
@@ -535,7 +543,7 @@ func parsePowers(s string) ([]float64, error) {
 // runSweepCSV streams the sweep as CSV through the shared ResultLog — the
 // same byte-offset checkpoint/resume implementation the bccd job service
 // uses — wiring the resume recipe when ckPath is set.
-func runSweepCSV(ctx context.Context, spec bicoop.SweepSpec, out, ckPath string) error {
+func runSweepCSV(ctx context.Context, eng *bicoop.Engine, spec bicoop.SweepSpec, out, ckPath string) error {
 	var log *service.ResultLog
 	var err error
 	switch {

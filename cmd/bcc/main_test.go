@@ -32,6 +32,7 @@ func TestRunDispatch(t *testing.T) {
 		{name: "place", args: []string{"place", "-pos", "0.3"}, wantErr: false},
 		{name: "place off segment", args: []string{"place", "-pos", "1.5"}, wantErr: true},
 		{name: "sweep", args: []string{"sweep", "-powers", "0,10", "-protos", "MABC"}, wantErr: false},
+		{name: "sweep cached", args: []string{"sweep", "-powers", "0,10", "-protos", "MABC", "-cache", "1024"}, wantErr: false},
 		{name: "sweep bad powers", args: []string{"sweep", "-powers", "10:0:1"}, wantErr: true},
 		{name: "sweep bad proto", args: []string{"sweep", "-protos", "XYZ"}, wantErr: true},
 		{name: "sweep bad bound", args: []string{"sweep", "-bound", "sideways"}, wantErr: true},
@@ -147,7 +148,7 @@ func sweepTestSpec() bicoop.SweepSpec {
 func TestRunSweepCSVCheckpointResume(t *testing.T) {
 	dir := t.TempDir()
 	full := filepath.Join(dir, "full.csv")
-	if err := runSweepCSV(context.Background(), sweepTestSpec(), full, ""); err != nil {
+	if err := runSweepCSV(context.Background(), eng, sweepTestSpec(), full, ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -159,7 +160,7 @@ func TestRunSweepCSVCheckpointResume(t *testing.T) {
 			t.Fatal("sweep never completed across 100 resumes")
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
-		err := runSweepCSV(ctx, sweepTestSpec(), part, ck)
+		err := runSweepCSV(ctx, eng, sweepTestSpec(), part, ck)
 		cancel()
 		if err == nil {
 			break
@@ -184,7 +185,7 @@ func TestRunSweepCSVCheckpointResume(t *testing.T) {
 	}
 
 	// Idempotence: rerunning a completed checkpointed sweep changes nothing.
-	if err := runSweepCSV(context.Background(), sweepTestSpec(), part, ck); err != nil {
+	if err := runSweepCSV(context.Background(), eng, sweepTestSpec(), part, ck); err != nil {
 		t.Fatal(err)
 	}
 	again, err := os.ReadFile(part)
@@ -204,7 +205,7 @@ func TestRunSweepCSVCorruptCheckpoint(t *testing.T) {
 	if err := os.WriteFile(ck, []byte("not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := runSweepCSV(context.Background(), sweepTestSpec(), filepath.Join(dir, "out.csv"), ck)
+	err := runSweepCSV(context.Background(), eng, sweepTestSpec(), filepath.Join(dir, "out.csv"), ck)
 	if err == nil || !strings.Contains(err.Error(), "corrupt checkpoint") {
 		t.Fatalf("err = %v, want a corrupt-checkpoint error", err)
 	}

@@ -18,10 +18,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"bicoop"
+	"bicoop/internal/cache"
 	"bicoop/internal/service"
 )
 
@@ -40,6 +42,7 @@ func run(args []string) error {
 	jobs := fs.Int("jobs", 1, "jobs run concurrently (each job shards internally)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown deadline on SIGTERM/SIGINT")
 	workers := fs.Int("workers", 0, "engine worker default for jobs that leave Workers 0 (0 = GOMAXPROCS)")
+	cacheCap := fs.Int("cache", 0, "result-cache capacity in entries, persisted to cache.log in the store directory (0 = caching off)")
 	addrFile := fs.String("addrfile", "", "write the bound address to this file once listening (for scripts and tests)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,10 +59,25 @@ func run(args []string) error {
 	if *workers > 0 {
 		engOpts = append(engOpts, bicoop.WithWorkers(*workers))
 	}
-	svc := service.New(context.Background(), st, bicoop.NewEngine(engOpts...), service.Options{
+	svcOpts := service.Options{
 		QueueCap:  *queue,
 		Executors: *jobs,
-	})
+	}
+	if *cacheCap > 0 {
+		// The durable tier shares the store directory (the job store only
+		// scans jNNNNNN subdirectories, so cache.log is out of its way):
+		// replay the log into a fresh in-process store, hand that store to
+		// the engine, and let the service flush fills after every job.
+		cst := cache.NewStore(*cacheCap)
+		clog, err := service.OpenCacheLog(filepath.Join(*store, "cache.log"), cst)
+		if err != nil {
+			return err
+		}
+		defer clog.Close()
+		engOpts = append(engOpts, bicoop.WithCacheStore(cst))
+		svcOpts.CacheLog = clog
+	}
+	svc := service.New(context.Background(), st, bicoop.NewEngine(engOpts...), svcOpts)
 	if err := svc.Start(); err != nil {
 		return err
 	}

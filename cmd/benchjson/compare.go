@@ -11,7 +11,10 @@ package main
 //     than allocSlack new allocations;
 //   - disappeared benchmarks: a name present in the old ledger but not the
 //     new one, which is how a hand-edited bench.sh pattern that silently
-//     drops a benchmark turns into a loud CI failure.
+//     drops a benchmark turns into a loud CI failure;
+//   - collapsed speedups: a -min-speedup 'Slow/Fast:factor' pair whose
+//     ratio in the new ledger fell below the factor — the gate that keeps
+//     the result cache's hit path actually fast, not merely correct.
 //
 // Improvements and newly added benchmarks are reported as notes, never as
 // failures.
@@ -23,6 +26,8 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 const (
@@ -40,6 +45,71 @@ const (
 	// as a 50% regression.
 	allocSlack = 4
 )
+
+// speedupCheck is one -min-speedup requirement: within the NEW ledger,
+// benchmark slow must be at least factor times slower than benchmark fast.
+// CI uses it to gate the result cache — a hit that stops being much
+// cheaper than a miss means the cache fast path silently broke.
+type speedupCheck struct {
+	slow, fast string
+	factor     float64
+}
+
+// speedupChecks is a repeatable flag.Value: -min-speedup 'Slow/Fast:5'.
+type speedupChecks []speedupCheck
+
+func (s *speedupChecks) String() string {
+	parts := make([]string, len(*s))
+	for i, c := range *s {
+		parts[i] = fmt.Sprintf("%s/%s:%g", c.slow, c.fast, c.factor)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *speedupChecks) Set(v string) error {
+	names, factorStr, ok := strings.Cut(v, ":")
+	if !ok {
+		return fmt.Errorf("want Slow/Fast:factor, got %q", v)
+	}
+	slow, fast, ok := strings.Cut(names, "/")
+	if !ok || slow == "" || fast == "" {
+		return fmt.Errorf("want Slow/Fast:factor, got %q", v)
+	}
+	factor, err := strconv.ParseFloat(factorStr, 64)
+	if err != nil || factor <= 1 {
+		return fmt.Errorf("factor in %q must be a number > 1", v)
+	}
+	*s = append(*s, speedupCheck{slow: slow, fast: fast, factor: factor})
+	return nil
+}
+
+// checkSpeedups evaluates -min-speedup requirements against the new
+// ledger. A missing benchmark or a ratio below the factor is a
+// regression; a satisfied check is reported as a note.
+func checkSpeedups(newL Ledger, checks speedupChecks) []problem {
+	byName := make(map[string]Result, len(newL.Benchmarks))
+	for _, r := range newL.Benchmarks {
+		byName[r.Name] = r
+	}
+	var probs []problem
+	for _, c := range checks {
+		pair := c.slow + "/" + c.fast
+		slow, okS := byName[c.slow]
+		fast, okF := byName[c.fast]
+		switch {
+		case !okS || !okF:
+			probs = append(probs, problem{pair, "speedup check: benchmark missing from new ledger", true})
+		case slow.NsPerOp < fast.NsPerOp*c.factor:
+			probs = append(probs, problem{pair, fmt.Sprintf(
+				"speedup collapsed to %.2fx: %.4g vs %.4g ns/op (want >= %.2gx)",
+				slow.NsPerOp/fast.NsPerOp, slow.NsPerOp, fast.NsPerOp, c.factor), true})
+		default:
+			probs = append(probs, problem{pair, fmt.Sprintf(
+				"speedup %.2fx (>= %.2gx required)", slow.NsPerOp/fast.NsPerOp, c.factor), false})
+		}
+	}
+	return probs
+}
 
 // problem is one comparison finding.
 type problem struct {
@@ -125,8 +195,11 @@ func runCompare(args []string, out, errw io.Writer) int {
 		"ns/op growth factor treated as a regression")
 	allocThreshold := fs.Float64("alloc-threshold", defaultAllocThreshold,
 		"allocs/op growth factor treated as a regression (0->nonzero always fails)")
+	var speedups speedupChecks
+	fs.Var(&speedups, "min-speedup",
+		"require Slow/Fast:factor within the new ledger (repeatable), e.g. -min-speedup 'BenchmarkMiss/BenchmarkHit:5'")
 	fs.Usage = func() {
-		fmt.Fprintln(errw, "usage: benchjson compare old.json new.json [-threshold 1.25] [-alloc-threshold 1.25]")
+		fmt.Fprintln(errw, "usage: benchjson compare old.json new.json [-threshold 1.25] [-alloc-threshold 1.25] [-min-speedup Slow/Fast:factor]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -156,6 +229,7 @@ func runCompare(args []string, out, errw io.Writer) int {
 		return 2
 	}
 	probs := compareLedgers(oldL, newL, *threshold, *allocThreshold)
+	probs = append(probs, checkSpeedups(newL, speedups)...)
 	regressions := 0
 	for _, p := range probs {
 		tag := "note"

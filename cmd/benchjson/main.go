@@ -6,12 +6,13 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH.json
-//	benchjson compare old.json new.json [-threshold 1.25]
+//	benchjson compare old.json new.json [-threshold 1.25] [-min-speedup Slow/Fast:5]
 //
 // compare exits nonzero when any benchmark regresses: its ns/op grows past
 // the threshold factor, a zero-allocation benchmark starts allocating, its
-// allocations grow past the threshold, or it disappears from the new ledger
-// (which is how a silently dropped bench.sh pattern surfaces in CI).
+// allocations grow past the threshold, it disappears from the new ledger
+// (which is how a silently dropped bench.sh pattern surfaces in CI), or a
+// -min-speedup pair's ratio falls below its required factor.
 package main
 
 import (

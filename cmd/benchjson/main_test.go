@@ -191,6 +191,33 @@ BenchmarkSweep-8 500 30000 ns/op 128 B/op 2 allocs/op
 			wantCode: 0,
 			wantOut:  "ok",
 		},
+		{
+			name: "speedup satisfied passes with note",
+			newText: `BenchmarkKernel-8 1000 1000 ns/op 0 B/op 0 allocs/op
+BenchmarkSweep-8 500 30000 ns/op 128 B/op 2 allocs/op
+`,
+			args:     []string{"-min-speedup", "BenchmarkSweep/BenchmarkKernel:5"},
+			wantCode: 0,
+			wantOut:  "speedup 30.00x",
+		},
+		{
+			name: "collapsed speedup fails",
+			newText: `BenchmarkKernel-8 1000 1000 ns/op 0 B/op 0 allocs/op
+BenchmarkSweep-8 500 30000 ns/op 128 B/op 2 allocs/op
+`,
+			args:     []string{"-min-speedup", "BenchmarkSweep/BenchmarkKernel:50"},
+			wantCode: 1,
+			wantOut:  "speedup collapsed to 30.00x",
+		},
+		{
+			name: "speedup over missing benchmark fails",
+			newText: `BenchmarkKernel-8 1000 1000 ns/op 0 B/op 0 allocs/op
+BenchmarkSweep-8 500 30000 ns/op 128 B/op 2 allocs/op
+`,
+			args:     []string{"-min-speedup", "BenchmarkGone/BenchmarkKernel:5"},
+			wantCode: 1,
+			wantOut:  "benchmark missing",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -218,6 +245,11 @@ func TestRunCompareUsageErrors(t *testing.T) {
 	}
 	if code := runCompare([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, &out, &errw); code != 2 {
 		t.Errorf("missing file exit = %d, want 2", code)
+	}
+	for _, bad := range []string{"NoColon", "OnlyOneName:5", "A/B:0.5", "A/B:x"} {
+		if code := runCompare([]string{"-min-speedup", bad, "a.json", "b.json"}, &out, &errw); code != 2 {
+			t.Errorf("malformed -min-speedup %q exit = %d, want 2", bad, code)
+		}
 	}
 }
 

@@ -172,6 +172,62 @@
 // mirroring bcc's exit-124 contract. `make service-smoke` runs the
 // end-to-end lifecycle; `make service-chaos` runs the kill -9 gate.
 //
+// # Result cache
+//
+// Every analytic bound is a pure function of (protocol, bound, scenario),
+// and real workloads repeat scenarios constantly — a placement sweep
+// revisits the same grid point at every power, a resubmitted bccd job
+// re-solves yesterday's grid verbatim. WithCache(capacity) puts a
+// scenario-keyed result cache (internal/cache) in front of the LP solves:
+// SumRate, SumRateBatch, Sweep and RegionBatch consult it per point and
+// fill it per solve. The CLI exposes it as `bcc sweep -cache N`; the
+// daemon as `bccd -cache N`, which also opens the durable tier described
+// below.
+//
+// Keys quantize every real coordinate (dB powers and gains, erasure
+// probabilities, support-direction weights) onto a canonical 1e-9 grid
+// through one chokepoint, cache.Quantize, so equal coordinates produce
+// byte-equal keys on every platform (the cachekey analyzer rejects keys
+// assembled any other way). Quantization applies to the lookup key only:
+// the stored value is the exact solve of the exact scenario, so a hit
+// returns bit-identical output, not a grid-rounded approximation.
+//
+// Cached values are canonical cold solves. A warm-started simplex solve
+// carries its predecessor's basis, and on degenerate LPs (multiple
+// optimal vertices) the warm and cold paths can legitimately pick
+// different optimal rate points — same objective, different (Ra, Rb)
+// split. A cache hit must not depend on which points happened to precede
+// the miss that filled it, so cache-enabled runs disable warm starting
+// and every cached value is position-independent. Consequences: a cached
+// run equals another cached run, a single-point SumRate, and itself at
+// any worker count, bit for bit (pinned by == tests at Workers 1/2/7);
+// for the closed-form bounds (DT, MABC, TDBC) it also equals a warm
+// batch; for Naive4/HBC a warm uncached sweep may report a different —
+// equally optimal — vertex at degenerate points.
+//
+// The in-process tier is a sharded store: 64 shards, one mutex and a
+// flat entry array per shard, second-chance (clock) eviction, zero
+// allocations on the hit path (~120 bytes per entry plus map overhead,
+// so -cache 65536 costs ~10 MB). Engine.CacheStats reports Hits, Misses,
+// Fills and Evictions since construction; Hits+Misses counts lookups
+// exactly, and Fills counts distinct keys filled (concurrent workers may
+// race to solve the same key — the loser's overwrite is counted as a
+// miss but not a fill). bccd republishes the counters at GET /stats.
+//
+// bccd adds a durable tier (internal/service.CacheLog): an append-only
+// cache.log next to the job store, one fixed-size CRC32-checked record
+// per fill, flushed after every job and replayed into the store at
+// startup — so a resubmitted job after a restart is served from cache.
+// Fills are warmth, not correctness: replay stops at the first torn or
+// corrupt record, compaction snapshots the live entries via tmp+rename
+// (also triggered when stale records bloat the log past twice the live
+// count), and a kill -9 at any instant loses at most the unflushed tail,
+// which the next run re-solves. The service-chaos gate pins this: a
+// cache-served rerun across SIGKILLs must be byte-identical to the
+// uninterrupted run. The bench-gate CI job pins the fast path itself —
+// an all-hit batch must stay at least 5x cheaper than the same batch
+// all-miss (`benchjson compare -min-speedup`).
+//
 // # Performance and profiling
 //
 // Every reported quantity reduces to a tiny phase-duration LP per scenario,
@@ -277,7 +333,7 @@
 // The repository's cross-cutting invariants — the rules the sections above
 // state in prose — are enforced mechanically by cmd/bcclint, a stdlib-only
 // multichecker built on internal/lint. `make lint` (or
-// `go run ./cmd/bcclint ./...`) runs five project analyzers:
+// `go run ./cmd/bcclint ./...`) runs six project analyzers:
 //
 //   - detrand: result-producing packages draw no nondeterminism — no
 //     global math/rand (seeds travel in specs) and no wall-clock reads —
@@ -299,6 +355,10 @@
 //   - errwrap: sentinel comparisons use errors.Is, and fmt.Errorf wraps
 //     with %w rather than flattening with %v/%s, so errors.Is/As keep
 //     working across API layers.
+//   - cachekey: result-cache keys are built only by internal/cache's
+//     quantizing constructors — a hand-assembled cache.Key literal or a
+//     Key field write outside that package can skip Quantize or the
+//     layout-version stamp and silently alias cache entries.
 //
 // A finding is fixed, or waived in place with a one-line audited comment
 // `//bicoop:allow <analyzer> — reason` covering that line and the next.

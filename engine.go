@@ -18,6 +18,7 @@ import (
 	"math"
 	"sync"
 
+	"bicoop/internal/cache"
 	"bicoop/internal/experiments"
 	"bicoop/internal/protocols"
 	"bicoop/internal/sweep"
@@ -87,6 +88,7 @@ func validateRatePoint(pt RatePoint) error {
 // instance.
 type Engine struct {
 	workers int
+	cache   *cache.Store
 	evals   sync.Pool
 }
 
@@ -101,6 +103,52 @@ type Option func(*Engine)
 // only trades wall-clock time for cores.
 func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
+}
+
+// WithCache enables the engine's in-process scenario-keyed result cache,
+// bounded at roughly capacity entries (second-chance eviction past that).
+// The analytic bounds are pure functions of the scenario, so SumRate,
+// SumRateBatch, Sweep and RegionBatch serve repeat points from the cache
+// instead of re-solving their LPs. Cached results are bit-identical to
+// cache-off results — see doc.go "Result cache" for the grid resolution,
+// memory bound and warm-start interaction. Non-positive capacity leaves
+// caching off.
+func WithCache(capacity int) Option {
+	return func(e *Engine) {
+		if capacity > 0 {
+			e.cache = cache.NewStore(capacity)
+		}
+	}
+}
+
+// WithCacheStore plugs in an externally built result-cache store. The bccd
+// daemon uses this to share one store between the engine and the durable
+// cache log (service.OpenCacheLog replays the log into the store, then the
+// engine fills it). The store type is internal to the module; other
+// callers use WithCache.
+func WithCacheStore(s *cache.Store) Option {
+	return func(e *Engine) { e.cache = s }
+}
+
+// CacheStats are the engine's result-cache counters since construction
+// (or the durable log's replay, for a bccd engine). Hits and Misses count
+// lookups; Fills counts inserted solves; Evictions counts entries
+// displaced by the capacity bound. A zero value is returned when caching
+// is off.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Fills     uint64 `json:"fills"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// CacheStats returns the engine's result-cache counters.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	st := e.cache.Stats()
+	return CacheStats{Hits: st.Hits, Misses: st.Misses, Fills: st.Fills, Evictions: st.Evictions}
 }
 
 // NewEngine returns a ready-to-use engine. Engines are cheap: the heavy
@@ -140,7 +188,7 @@ func (e *Engine) sweepOpts(workers int) sweep.Options {
 	if workers <= 0 {
 		workers = e.workers
 	}
-	return sweep.Options{Workers: workers, Pool: enginePool{e}}
+	return sweep.Options{Workers: workers, Pool: enginePool{e}, Cache: e.cache}
 }
 
 // ctxDone returns a non-nil error when ctx has ended. It always satisfies
@@ -195,11 +243,25 @@ func (e *Engine) SumRate(p Protocol, b Bound, s Scenario) (SumRateResult, error)
 	if err != nil {
 		return SumRateResult{}, err
 	}
+	var key cache.Key
+	if e.cache != nil {
+		key = cache.SumRateKey(ip, ib, s.PowerDB, s.GabDB, s.GarDB, s.GbrDB)
+		if v, ok := e.cache.Lookup(key); ok {
+			return SumRateResult{
+				Sum:       v.Sum,
+				Point:     RatePoint{Ra: v.Ra, Rb: v.Rb},
+				Durations: v.Durations(),
+			}, nil
+		}
+	}
 	ev := e.getEval()
 	defer e.putEval(ev)
 	opt, err := ev.WeightedRate(ip, ib, is, 1, 1)
 	if err != nil {
 		return SumRateResult{}, fmt.Errorf("bicoop: %w", err)
+	}
+	if e.cache != nil {
+		e.cache.Add(key, cache.MakeValue(opt.Objective, opt.Rates.Ra, opt.Rates.Rb, opt.Durations))
 	}
 	return SumRateResult{
 		Sum:       opt.Objective,

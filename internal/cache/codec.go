@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+
+	"bicoop/internal/protocols"
+)
+
+// The durable tier (internal/service) persists cache entries as
+// fixed-size little-endian records:
+//
+//	key    52 bytes: Version, Kind, Proto, Bound (uint8 each),
+//	                 MuA, MuB, A, B, C, D (int64 each)
+//	value  57 bytes: Sum, Ra, Rb (float64), NDur (uint8),
+//	                 Dur[MaxPhases] (float64 each)
+//	crc     4 bytes: CRC32 (IEEE) of the 109 payload bytes
+//
+// Fixed size plus a trailing checksum makes crash recovery trivial: a
+// torn append is either a short tail (length not a record multiple) or a
+// record whose CRC fails, and replay stops at the first such record.
+
+const (
+	keyBytes   = 4 + 6*8
+	valueBytes = 3*8 + 1 + protocols.MaxPhases*8
+
+	// RecordSize is the encoded length of one (key, value) record.
+	RecordSize = keyBytes + valueBytes + 4
+)
+
+// ErrBadRecord reports a record that failed checksum or sanity checks.
+var ErrBadRecord = errors.New("cache: bad record")
+
+// AppendRecord appends the encoded record for (k, v) to dst.
+func AppendRecord(dst []byte, k Key, v Value) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, RecordSize)...)
+	b := dst[off:]
+	b[0], b[1], b[2], b[3] = k.Version, k.Kind, k.Proto, k.Bound
+	le := binary.LittleEndian
+	le.PutUint64(b[4:], uint64(k.MuA))
+	le.PutUint64(b[12:], uint64(k.MuB))
+	le.PutUint64(b[20:], uint64(k.A))
+	le.PutUint64(b[28:], uint64(k.B))
+	le.PutUint64(b[36:], uint64(k.C))
+	le.PutUint64(b[44:], uint64(k.D))
+	le.PutUint64(b[52:], math.Float64bits(v.Sum))
+	le.PutUint64(b[60:], math.Float64bits(v.Ra))
+	le.PutUint64(b[68:], math.Float64bits(v.Rb))
+	b[76] = v.NDur
+	for i := 0; i < protocols.MaxPhases; i++ {
+		le.PutUint64(b[77+8*i:], math.Float64bits(v.Dur[i]))
+	}
+	le.PutUint32(b[RecordSize-4:], crc32.ChecksumIEEE(b[:RecordSize-4]))
+	return dst
+}
+
+// DecodeRecord decodes one record from the first RecordSize bytes of b.
+// It returns ErrBadRecord when the checksum fails, the key version is
+// unknown, or the duration count is out of range.
+func DecodeRecord(b []byte) (Key, Value, error) {
+	var k Key
+	var v Value
+	if len(b) < RecordSize {
+		return k, v, ErrBadRecord
+	}
+	b = b[:RecordSize]
+	le := binary.LittleEndian
+	if le.Uint32(b[RecordSize-4:]) != crc32.ChecksumIEEE(b[:RecordSize-4]) {
+		return k, v, ErrBadRecord
+	}
+	k.Version, k.Kind, k.Proto, k.Bound = b[0], b[1], b[2], b[3]
+	if k.Version != KeyVersion || (k.Kind != KindWeighted && k.Kind != KindErasure) {
+		return k, v, ErrBadRecord
+	}
+	k.MuA = int64(le.Uint64(b[4:]))
+	k.MuB = int64(le.Uint64(b[12:]))
+	k.A = int64(le.Uint64(b[20:]))
+	k.B = int64(le.Uint64(b[28:]))
+	k.C = int64(le.Uint64(b[36:]))
+	k.D = int64(le.Uint64(b[44:]))
+	v.Sum = math.Float64frombits(le.Uint64(b[52:]))
+	v.Ra = math.Float64frombits(le.Uint64(b[60:]))
+	v.Rb = math.Float64frombits(le.Uint64(b[68:]))
+	v.NDur = b[76]
+	if v.NDur > protocols.MaxPhases {
+		return k, v, ErrBadRecord
+	}
+	for i := 0; i < protocols.MaxPhases; i++ {
+		v.Dur[i] = math.Float64frombits(le.Uint64(b[77+8*i:]))
+	}
+	return k, v, nil
+}
+
+// Replay decodes records from data in order, calling fill for each, and
+// stops at the first bad or truncated record. It returns the number of
+// bytes consumed and whether the whole input was clean (consumed ==
+// len(data) with no bad record) — a false return means the log has a
+// torn or corrupt tail that compaction should drop.
+func Replay(data []byte, fill func(Key, Value)) (consumed int, clean bool) {
+	off := 0
+	for len(data)-off >= RecordSize {
+		k, v, err := DecodeRecord(data[off:])
+		if err != nil {
+			return off, false
+		}
+		fill(k, v)
+		off += RecordSize
+	}
+	return off, off == len(data)
+}

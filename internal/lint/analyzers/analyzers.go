@@ -12,6 +12,9 @@
 //     and this lint tree itself.
 //   - internal/service is the only package the atomicwrite analyzer
 //     watches: that is where durable state lives.
+//   - cacheClientPackage: every module package except internal/cache
+//     itself — the cachekey analyzer keeps cache-key construction behind
+//     that package's quantizing constructors.
 package analyzers
 
 import (
@@ -28,6 +31,7 @@ func All() []*lint.Analyzer {
 		Ctxflow,
 		Atomicwrite,
 		Errwrap,
+		Cachekey,
 	}
 }
 

@@ -34,6 +34,10 @@ func TestErrwrap(t *testing.T) {
 	linttest.Run(t, analyzers.Errwrap, "testdata/errwrap")
 }
 
+func TestCachekey(t *testing.T) {
+	linttest.Run(t, analyzers.Cachekey, "testdata/cachekey")
+}
+
 // TestMatchScoping pins the package-scoping predicates: which repo trees
 // each analyzer patrols. linttest bypasses Match (fixtures live outside the
 // module), so the scoping contract is asserted here directly.
@@ -64,6 +68,16 @@ func TestMatchScoping(t *testing.T) {
 		{"ctxflow-lint", analyzers.Ctxflow.Match, "bicoop/internal/lint", "lint", false},
 		{"errwrap-sim", analyzers.Errwrap.Match, "bicoop/internal/sim", "sim", true},
 		{"errwrap-lint-testdata", analyzers.Errwrap.Match, "bicoop/internal/lint/analyzers", "analyzers", false},
+
+		// cachekey patrols every module package except internal/cache
+		// (home of the constructors and codec) and the lint tree.
+		{"cachekey-root", analyzers.Cachekey.Match, "bicoop", "bicoop", true},
+		{"cachekey-sweep", analyzers.Cachekey.Match, "bicoop/internal/sweep", "sweep", true},
+		{"cachekey-service", analyzers.Cachekey.Match, "bicoop/internal/service", "service", true},
+		{"cachekey-bccd", analyzers.Cachekey.Match, "bicoop/cmd/bccd", "main", true},
+		{"cachekey-cache", analyzers.Cachekey.Match, "bicoop/internal/cache", "cache", false},
+		{"cachekey-lint", analyzers.Cachekey.Match, "bicoop/internal/lint/analyzers", "analyzers", false},
+		{"cachekey-foreign", analyzers.Cachekey.Match, "example.com/other", "other", false},
 	}
 	for _, tc := range cases {
 		if got := tc.match(tc.pkgPath, tc.pkgName); got != tc.want {
@@ -83,8 +97,8 @@ func TestNoallocSelfScoped(t *testing.T) {
 // TestAll pins the registry contents and name uniqueness.
 func TestAll(t *testing.T) {
 	all := analyzers.All()
-	if len(all) != 5 {
-		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	if len(all) != 6 {
+		t.Fatalf("All() returned %d analyzers, want 6", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {
@@ -96,7 +110,7 @@ func TestAll(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	for _, name := range []string{"detrand", "noalloc", "ctxflow", "atomicwrite", "errwrap"} {
+	for _, name := range []string{"detrand", "noalloc", "ctxflow", "atomicwrite", "errwrap", "cachekey"} {
 		if !seen[name] {
 			t.Errorf("All() missing analyzer %q", name)
 		}

@@ -1,0 +1,81 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bicoop/internal/lint"
+)
+
+// Cachekey enforces the result cache's single-chokepoint rule: every
+// cache.Key is built by the cache package's constructors (WeightedKey,
+// SumRateKey, ErasureKey), which quantize coordinates through Quantize and
+// stamp the layout version. A key assembled by hand — a cache.Key composite
+// literal or a write to a Key field outside bicoop/internal/cache — can
+// skip quantization or the version stamp, silently aliasing or orphaning
+// entries in both cache tiers, so it is a finding even when the values
+// happen to be correct today.
+var Cachekey = &lint.Analyzer{
+	Name:  "cachekey",
+	Doc:   "build cache.Key only via the cache package's quantizing constructors",
+	Match: cacheClientPackage,
+	Run:   runCachekey,
+}
+
+// cacheKeyPath is the package whose Key type the invariant protects.
+const cacheKeyPath = modulePath + "/internal/cache"
+
+// cacheClientPackage scopes cachekey: every package of this module except
+// internal/cache itself (home of the constructors and the record codec)
+// and the lint tree.
+func cacheClientPackage(pkgPath, pkgName string) bool {
+	if pkgPath != modulePath && !strings.HasPrefix(pkgPath, modulePath+"/") {
+		return false
+	}
+	for _, excluded := range []string{cacheKeyPath, modulePath + "/internal/lint"} {
+		if pkgPath == excluded || strings.HasPrefix(pkgPath, excluded+"/") {
+			return false
+		}
+	}
+	return true
+}
+
+// isCacheKey reports whether t (or what it points to) is the named type
+// bicoop/internal/cache.Key.
+func isCacheKey(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Key" && obj.Pkg() != nil && obj.Pkg().Path() == cacheKeyPath
+}
+
+func runCachekey(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if isCacheKey(pass.TypesInfo.TypeOf(n)) {
+					pass.Reportf(n.Pos(), "cachekey: cache.Key literal bypasses the quantizing constructors; use cache.WeightedKey, cache.SumRateKey or cache.ErasureKey")
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if isCacheKey(pass.TypesInfo.TypeOf(sel.X)) {
+						pass.Reportf(lhs.Pos(), "cachekey: writing cache.Key field %s bypasses the quantizing constructors; use cache.WeightedKey, cache.SumRateKey or cache.ErasureKey", sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package fixture
+
+import (
+	"bicoop/internal/cache"
+	"bicoop/internal/protocols"
+)
+
+// constructors is the sanctioned path: keys come out of the cache
+// package's quantizing constructors and are passed around as opaque
+// comparable values.
+func constructors(powerDB, muA, muB float64) []cache.Key {
+	return []cache.Key{
+		cache.SumRateKey(protocols.MABC, protocols.BoundInner, powerDB, -7, 0, 5),
+		cache.WeightedKey(protocols.HBC, protocols.BoundInner, powerDB, -7, 0, 5, muA, muB),
+		cache.ErasureKey(0.2, 0.1, 0.6),
+	}
+}
+
+// readsAreFine reads Key fields and compares keys; only construction and
+// mutation are restricted.
+func readsAreFine(k, other cache.Key) bool {
+	return k == other && k.Version == cache.KeyVersion && k.A > 0
+}
+
+// lookups move keys through the store without touching their fields.
+func lookups(s *cache.Store, k cache.Key, v cache.Value) (cache.Value, bool) {
+	s.Add(k, v)
+	return s.Lookup(k)
+}
+
+// quantizeDirectly is legal: Quantize is exported exactly so ad-hoc
+// consumers can reuse the canonical grid without hand-rolling it.
+func quantizeDirectly(v float64) int64 {
+	return cache.Quantize(v)
+}

@@ -1,0 +1,31 @@
+package fixture
+
+import (
+	"bicoop/internal/cache"
+	"bicoop/internal/protocols"
+)
+
+// literalKey assembles a key by hand: no quantization, no version stamp.
+func literalKey(powerDB float64) cache.Key {
+	return cache.Key{ // want "cache.Key literal bypasses the quantizing constructors"
+		Version: 1,
+		Kind:    cache.KindWeighted,
+		A:       int64(powerDB * 1e9),
+	}
+}
+
+// fieldWrite patches a constructed key, desynchronizing it from Quantize.
+func fieldWrite(k cache.Key, garDB float64) cache.Key {
+	k.C = int64(garDB * 1e9) // want "writing cache.Key field C"
+	return k
+}
+
+// pointerFieldWrite does the same through a pointer.
+func pointerFieldWrite(k *cache.Key) {
+	k.Bound = uint8(protocols.BoundOuter) // want "writing cache.Key field Bound"
+}
+
+// emptyLiteral is still a hand-built key: its Version is 0, not KeyVersion.
+func emptyLiteral() cache.Key {
+	return cache.Key{} // want "cache.Key literal bypasses the quantizing constructors"
+}

@@ -78,9 +78,14 @@ func (li LinkInfos) termValues(dst *[numTerms]float64) {
 	dst[termBtoRA] = li.BtoRA
 }
 
+// MaxPhases bounds the phase count of any compiled bound (HBC/Naive4 use
+// all four). Exported for fixed-size consumers: the result cache's value
+// record stores per-phase durations in a [MaxPhases]float64.
+const MaxPhases = 4
+
 const (
-	// maxPhases bounds the phase count of any compiled bound (HBC/Naive4).
-	maxPhases = 4
+	// maxPhases is the package-internal alias of MaxPhases.
+	maxPhases = MaxPhases
 	// maxTplCons bounds the constraint count of any compiled bound.
 	maxTplCons = 8
 	// maxKinkLines bounds the candidate kink/boundary line set of the fast

@@ -121,7 +121,10 @@ func TestRunRegionBatchInterruptResumeByteIdentical(t *testing.T) {
 			{Protocol: bicoop.TDBC, Bound: bicoop.Inner},
 			{Protocol: bicoop.HBC, Bound: bicoop.Outer},
 		},
-		Angles:  121,
+		// 241 angles keeps the batch comfortably larger than the first
+		// interrupt budget on fast machines, so the resume path is always
+		// exercised at least once.
+		Angles:  241,
 		Workers: 2,
 	}
 	want := referenceCSV(t, JobSpec{RegionBatch: &RegionJob{

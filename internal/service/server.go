@@ -8,6 +8,7 @@ package service
 //	GET    /v1/jobs/{id}/results CSV (checkpointed prefix while live)
 //	DELETE /v1/jobs/{id}         cancel                  → 202 JobStatus
 //	GET    /healthz              liveness + drain flag
+//	GET    /stats                result-cache counters   → 200 {"cache":...}
 //
 // Failure surfaces are structured and typed: validation errors are 400s
 // carrying the facade's sentinel text, an unknown id is 404, a full queue
@@ -101,6 +102,9 @@ func NewHandler(svc *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": svc.Draining()})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"cache": svc.CacheStats()})
 	})
 	return recoverPanics(mux)
 }

@@ -56,6 +56,11 @@ type Options struct {
 	// Executors is the number of jobs run concurrently; non-positive
 	// defaults to 1 (each job shards internally via its Workers field).
 	Executors int
+	// CacheLog, when non-nil, is the durable tier of the engine's result
+	// cache: the service flushes it after every job and on drain, so a
+	// crash loses at most the running job's unflushed fills. The caller
+	// owns opening (replay) and closing it — see OpenCacheLog.
+	CacheLog *CacheLog
 }
 
 // job is the runtime state of one job; durable state lives in the store.
@@ -70,8 +75,9 @@ type job struct {
 
 // Service runs jobs from a durable store through a bicoop engine.
 type Service struct {
-	store *Store
-	eng   *bicoop.Engine
+	store    *Store
+	eng      *bicoop.Engine
+	cacheLog *CacheLog
 
 	queueCap  int
 	executors int
@@ -102,6 +108,7 @@ func New(ctx context.Context, store *Store, eng *bicoop.Engine, opts Options) *S
 	s := &Service{
 		store:     store,
 		eng:       eng,
+		cacheLog:  opts.CacheLog,
 		queueCap:  opts.QueueCap,
 		executors: opts.Executors,
 		jobs:      make(map[string]*job),
@@ -234,6 +241,16 @@ func (s *Service) runJob(ctx context.Context, j *job) error {
 	runErr := j.spec.run(ctx, s.eng, log)
 	if cerr := log.Close(); cerr != nil && runErr == nil {
 		runErr = cerr
+	}
+	// Make the job's cache fills durable before its terminal state, so a
+	// repeat submission after a crash starts from a warm cache. A flush
+	// failure surfaces like any other disk failure, but only when the job
+	// itself succeeded — the results.csv contract stays with the
+	// ResultLog above.
+	if s.cacheLog != nil {
+		if ferr := s.cacheLog.Flush(); ferr != nil && runErr == nil {
+			runErr = ferr
+		}
 	}
 	return runErr
 }
@@ -429,8 +446,17 @@ func (s *Service) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if s.cacheLog != nil {
+			return s.cacheLog.Flush()
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// CacheStats reports the engine's result-cache counters (all zero when
+// the engine runs without a cache).
+func (s *Service) CacheStats() bicoop.CacheStats {
+	return s.eng.CacheStats()
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"bicoop/internal/cache"
 	"bicoop/internal/channel"
 	"bicoop/internal/protocols"
 	"bicoop/internal/sim"
@@ -142,6 +143,7 @@ type resolvedGrid struct {
 	placeIdx []int // aligned with scen; -1 for base gains
 	powerOf  []float64
 	erasures []protocols.LinkInfos
+	erasSpec []Erasure // aligned with erasures; retained for cache keys
 	gaussN   int
 }
 
@@ -180,6 +182,7 @@ func (spec Spec) resolve() (resolvedGrid, error) {
 			return resolvedGrid{}, fmt.Errorf("%w: erasure %d: %w", ErrSpec, i, err)
 		}
 		g.erasures = append(g.erasures, net.LinkInfos())
+		g.erasSpec = append(g.erasSpec, e)
 	}
 	return g, nil
 }
@@ -210,15 +213,11 @@ func Sweep(ctx context.Context, spec Spec, opts Options, yield func(Point) error
 			pt := Point{Index: i, PlacementIdx: -1, ErasureIdx: -1}
 			var proto protocols.Protocol
 			var bound protocols.Bound
-			if i < grid.gaussN {
-				si := i / nP
-				if si != lastScen {
-					var err error
-					if li, err = protocols.LinkInfosFromScenario(grid.scen[si].internal()); err != nil {
-						return fmt.Errorf("sweep point %d: %w", i, err)
-					}
-					lastScen = si
-				}
+			var key cache.Key
+			gaussian := i < grid.gaussN
+			si := -1
+			if gaussian {
+				si = i / nP
 				proto, bound = grid.protos[i%nP], grid.bound
 				pt.PowerDB = grid.powerOf[si]
 				pt.PlacementIdx = grid.placeIdx[si]
@@ -226,6 +225,34 @@ func Sweep(ctx context.Context, spec Spec, opts Options, yield func(Point) error
 			} else {
 				proto, bound = protocols.TDBC, protocols.BoundInner
 				pt.ErasureIdx = i - grid.gaussN
+			}
+			pt.Proto, pt.Bound = proto, bound
+			if opts.Cache != nil {
+				if gaussian {
+					s := grid.scen[si]
+					key = cache.SumRateKey(proto, bound, s.PowerDB, s.GabDB, s.GarDB, s.GbrDB)
+				} else {
+					e := grid.erasSpec[pt.ErasureIdx]
+					key = cache.ErasureKey(e.EpsAR, e.EpsBR, e.EpsAB)
+				}
+				if v, ok := opts.Cache.Lookup(key); ok {
+					start := len(durs)
+					durs = append(durs, v.Dur[:v.NDur]...)
+					pt.Sum, pt.Ra, pt.Rb = v.Sum, v.Ra, v.Rb
+					pt.Durations = durs[start:len(durs):len(durs)]
+					buf[i-lo] = pt
+					continue
+				}
+			}
+			if gaussian {
+				if si != lastScen {
+					var err error
+					if li, err = protocols.LinkInfosFromScenario(grid.scen[si].internal()); err != nil {
+						return fmt.Errorf("sweep point %d: %w", i, err)
+					}
+					lastScen = si
+				}
+			} else {
 				li = grid.erasures[pt.ErasureIdx]
 				lastScen = -1
 			}
@@ -233,9 +260,11 @@ func Sweep(ctx context.Context, spec Spec, opts Options, yield func(Point) error
 			if err != nil {
 				return fmt.Errorf("sweep point %d: %w", i, err)
 			}
+			if opts.Cache != nil {
+				opts.Cache.Add(key, cache.MakeValue(opt.Objective, opt.Rates.Ra, opt.Rates.Rb, opt.Durations))
+			}
 			start := len(durs)
 			durs = append(durs, opt.Durations...)
-			pt.Proto, pt.Bound = proto, bound
 			pt.Sum, pt.Ra, pt.Rb = opt.Objective, opt.Rates.Ra, opt.Rates.Rb
 			pt.Durations = durs[start:len(durs):len(durs)]
 			buf[i-lo] = pt
@@ -312,9 +341,26 @@ func Batch(ctx context.Context, proto protocols.Protocol, bound protocols.Bound,
 		var memo scenarioMemo
 		durs := make([]float64, 0, 4*(hi-lo)) // one backing array per chunk
 		for i := lo; i < hi; i++ {
-			opt, err := ev.WeightedRate(proto, bound, memo.internal(scen(i)), 1, 1)
+			s := scen(i)
+			var key cache.Key
+			if opts.Cache != nil {
+				key = cache.SumRateKey(proto, bound, s.PowerDB, s.GabDB, s.GarDB, s.GbrDB)
+				if v, ok := opts.Cache.Lookup(key); ok {
+					start := len(durs)
+					durs = append(durs, v.Dur[:v.NDur]...)
+					store(i, Result{
+						Sum: v.Sum, Ra: v.Ra, Rb: v.Rb,
+						Durations: durs[start:len(durs):len(durs)],
+					})
+					continue
+				}
+			}
+			opt, err := ev.WeightedRate(proto, bound, memo.internal(s), 1, 1)
 			if err != nil {
 				return fmt.Errorf("scenario %d: %w", i, err)
+			}
+			if opts.Cache != nil {
+				opts.Cache.Add(key, cache.MakeValue(opt.Objective, opt.Rates.Ra, opt.Rates.Rb, opt.Durations))
 			}
 			start := len(durs)
 			durs = append(durs, opt.Durations...)

@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 
+	"bicoop/internal/cache"
 	"bicoop/internal/protocols"
 	"bicoop/internal/region"
 )
@@ -135,19 +136,38 @@ func RegionBatch(ctx context.Context, spec RegionSpec, opts Options, yield func(
 			default:
 				muA, muB = 0, 1
 			}
-			opt, err := ev.WeightedRateLinks(c.Proto, c.Bound, lis[si], muA, muB)
-			if err != nil {
-				return fmt.Errorf("region curve %d (%v %v, scenario %d), direction %d: %w",
-					k, c.Proto, c.Bound, si, j, err)
+			// Region vertices cache as raw weighted solves keyed by the
+			// support direction; the axis projection and jitter clamp are
+			// re-applied on hit, so hits and misses land in pts identically.
+			var ra, rb float64
+			var key cache.Key
+			hit := false
+			if opts.Cache != nil {
+				s := spec.Scenarios[si]
+				key = cache.WeightedKey(c.Proto, c.Bound, s.PowerDB, s.GabDB, s.GarDB, s.GbrDB, muA, muB)
+				if v, ok := opts.Cache.Lookup(key); ok {
+					ra, rb, hit = v.Ra, v.Rb, true
+				}
+			}
+			if !hit {
+				opt, err := ev.WeightedRateLinks(c.Proto, c.Bound, lis[si], muA, muB)
+				if err != nil {
+					return fmt.Errorf("region curve %d (%v %v, scenario %d), direction %d: %w",
+						k, c.Proto, c.Bound, si, j, err)
+				}
+				ra, rb = opt.Rates.Ra, opt.Rates.Rb
+				if opts.Cache != nil {
+					opts.Cache.Add(key, cache.MakeValue(opt.Objective, ra, rb, opt.Durations))
+				}
 			}
 			switch {
 			case j < angles:
 				// Rates are non-negative by construction; clear solver jitter.
-				pts[i] = region.Point{Ra: max(opt.Rates.Ra, 0), Rb: max(opt.Rates.Rb, 0)}
+				pts[i] = region.Point{Ra: max(ra, 0), Rb: max(rb, 0)}
 			case j == angles:
-				pts[i] = region.Point{Ra: opt.Rates.Ra} // exact max Ra, projected
+				pts[i] = region.Point{Ra: ra} // exact max Ra, projected
 			default:
-				pts[i] = region.Point{Rb: opt.Rates.Rb} // exact max Rb, projected
+				pts[i] = region.Point{Rb: rb} // exact max Rb, projected
 			}
 		}
 		return nil

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"sync"
 
+	"bicoop/internal/cache"
 	"bicoop/internal/protocols"
 )
 
@@ -72,6 +73,15 @@ type Options struct {
 	Start      int
 	Checkpoint Checkpointer
 	Retry      *RetryPolicy
+	// Cache, when non-nil, serves already-solved points from the
+	// scenario-keyed result store and fills it on misses. Cache-enabled
+	// runs disable LP warm starting, making every solve the canonical
+	// cold solve: a warm-started solve's last bits depend on the pivot
+	// history of the points before it, which a cache hit would otherwise
+	// perturb. Cold solves are position-independent, so cached results
+	// are bit-identical to a cache-off run of the same points and to the
+	// facade's single-point solves, at every worker count.
+	Cache *cache.Store
 }
 
 func (o Options) pool() Pool {
@@ -124,6 +134,22 @@ func evalHooks(pool Pool) Hooks[*protocols.Evaluator] {
 	}
 }
 
+// coldEvalHooks leases evaluators with warm starting disabled, for
+// cache-enabled runs: every miss must be the canonical cold solve (see
+// Options.Cache), so the per-chunk reset is a no-op — there is no warm
+// state to reset.
+func coldEvalHooks(pool Pool) Hooks[*protocols.Evaluator] {
+	return Hooks[*protocols.Evaluator]{
+		NewWorker: func() *protocols.Evaluator {
+			ev := pool.Get()
+			ev.SetWarmStart(false)
+			return ev
+		},
+		ResetWorker: func(*protocols.Evaluator) {},
+		CloseWorker: func(ev *protocols.Evaluator) { pool.Put(ev) },
+	}
+}
+
 // Run evaluates n indexed points. do(ev, start, end) evaluates the
 // contiguous chunk [start, end) with a warm evaluator (warm starting
 // enabled, reset at the chunk's start) and must write its results into
@@ -143,5 +169,9 @@ func Run(ctx context.Context, n int, opts Options, do func(ev *protocols.Evaluat
 		Checkpoint: opts.Checkpoint,
 		Retry:      opts.Retry,
 	}
-	return RunCore(ctx, n, core, evalHooks(opts.pool()), do, emit)
+	hooks := evalHooks(opts.pool())
+	if opts.Cache != nil {
+		hooks = coldEvalHooks(opts.pool())
+	}
+	return RunCore(ctx, n, core, hooks, do, emit)
 }

@@ -15,7 +15,11 @@
 # price of the resilience layer), and the job-service pair
 # (BenchmarkServiceJobOverhead vs BenchmarkServiceJobDirect — the fixed
 # durability cost of running a sweep as a bccd job: store create, queue,
-# executor claim, checkpointed log, state renames).
+# executor claim, checkpointed log, state renames), and the result-cache
+# set (BenchmarkSumRateBatchCachedHit vs ...Miss plus BenchmarkSweepCached
+# and the store-level BenchmarkCacheHit — CI requires the hit/miss speedup
+# via benchjson compare -min-speedup, and BenchmarkCacheHit's 0 allocs/op
+# is gated like the other zero-alloc kernels).
 # The bit-true full-run benchmarks already iterate 64 blocks
 # internally, so they get a smaller default -benchtime than the
 # microbenchmarks.
@@ -30,7 +34,7 @@ cd "$(dirname "$0")/.."
 # every alternative must match an existing benchmark, and every benchmark in the
 # ledger packages must either appear here or be explicitly exempted there — a new
 # benchmark cannot be dropped from the ledger silently.
-pattern='BenchmarkSimplexSolve$|BenchmarkEvaluatorSolve|BenchmarkEvaluatorFeasible$|BenchmarkOutageTrial$|BenchmarkSumRateLP$|BenchmarkFeasibility$|BenchmarkOutageBlock$|BenchmarkFig3$|BenchmarkSNRCrossover$|BenchmarkFadingOutage$|BenchmarkBitTrueTDBCBlock$|BenchmarkBitTrueMABCBlock$|BenchmarkEngineSumRateBatch$|BenchmarkEngineSweep$|BenchmarkOneShotSumRateBatch$|BenchmarkRegionParallel$|BenchmarkCampaign$|BenchmarkRunCore$|BenchmarkRunCoreResilient$|BenchmarkServiceJobOverhead$|BenchmarkServiceJobDirect$'
+pattern='BenchmarkSimplexSolve$|BenchmarkEvaluatorSolve|BenchmarkEvaluatorFeasible$|BenchmarkOutageTrial$|BenchmarkSumRateLP$|BenchmarkFeasibility$|BenchmarkOutageBlock$|BenchmarkFig3$|BenchmarkSNRCrossover$|BenchmarkFadingOutage$|BenchmarkBitTrueTDBCBlock$|BenchmarkBitTrueMABCBlock$|BenchmarkEngineSumRateBatch$|BenchmarkEngineSweep$|BenchmarkOneShotSumRateBatch$|BenchmarkRegionParallel$|BenchmarkCampaign$|BenchmarkRunCore$|BenchmarkRunCoreResilient$|BenchmarkServiceJobOverhead$|BenchmarkServiceJobDirect$|BenchmarkSumRateBatchCachedHit$|BenchmarkSumRateBatchCachedMiss$|BenchmarkSweepCached$|BenchmarkCacheHit$'
 bitpattern='BenchmarkBitTrueTDBC$|BenchmarkBitTrueTDBCParallel$|BenchmarkBitTrueMABC$|BenchmarkBitTrueMABCParallel$'
 
 # The bench runs land in a temp file first, NOT straight into the benchjson
@@ -43,7 +47,7 @@ trap 'rm -f "$raw"' EXIT INT TERM
 
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
     . ./internal/protocols/ ./internal/sim/ ./internal/simplex/ ./internal/sweep/ \
-    ./internal/service/ > "$raw"
+    ./internal/service/ ./internal/cache/ > "$raw"
 go test -run '^$' -bench "$bitpattern" -benchmem -benchtime "$bittime" \
     ./internal/sim/ >> "$raw"
 

@@ -7,6 +7,16 @@
 # uninterrupted run's, and at least one kill must actually land mid-job —
 # a loop that never interrupts anything proves nothing and fails.
 #
+# Every daemon here runs with the durable result cache (-cache), so the
+# kill loop also chaos-tests the cache.log tier: torn tails from SIGKILL
+# mid-append must be compacted away on restart, never poison replay, and
+# never perturb a byte of output. Both runs use -cache because cached runs
+# solve cold (see the internal/cache package doc) — the cache-enabled
+# uninterrupted run IS the canonical reference. Afterwards the chaos store
+# gets one more restart and a resubmission of the same job, which must be
+# served from the replayed cache (hits observed on /stats) and again match
+# the reference byte for byte.
+#
 # Usage: ./scripts/service_chaos.sh [workdir]
 set -eu
 
@@ -30,7 +40,7 @@ awk 'BEGIN{
 # the address file. Sets $pid and $addr.
 start_bccd() {
     rm -f "$work/addr"
-    "$work/bccd" -store "$1" -addr 127.0.0.1:0 -addrfile "$work/addr" 2>> "$work/bccd.log" &
+    "$work/bccd" -store "$1" -cache 65536 -addr 127.0.0.1:0 -addrfile "$work/addr" 2>> "$work/bccd.log" &
     pid=$!
     for _ in $(seq 1 500); do
         [ -s "$work/addr" ] && break
@@ -45,7 +55,7 @@ submit_job() {
 }
 
 job_done() {
-    grep -q '"done"' "$1/j000001/state.json" 2> /dev/null
+    grep -q '"done"' "$1/${2:-j000001}/state.json" 2> /dev/null
 }
 
 # Reference: the same job, uninterrupted, SIGTERM-drained afterwards.
@@ -81,3 +91,22 @@ job_done "$work/chaos" || { echo "job never completed across $kills kills" >&2; 
 echo "recovered from $kills SIGKILLs"
 cmp "$work/ref/j000001/results.csv" "$work/chaos/j000001/results.csv"
 echo "recovered results byte-identical to the uninterrupted run"
+
+# Cache rerun: one more restart over the chaos store (replaying whatever
+# survived the kills in cache.log) and a resubmission of the same job. The
+# rerun must be served at least partly from cache — /stats hits observed —
+# and its results.csv must again equal the reference's.
+start_bccd "$work/chaos"
+submit_job
+for _ in $(seq 1 600); do
+    job_done "$work/chaos" j000002 && break
+    sleep 0.05
+done
+job_done "$work/chaos" j000002 || { echo "cache rerun job never completed" >&2; exit 1; }
+hits="$(curl -sS -f "http://$addr/stats" | sed -n 's/.*"hits":\([0-9]*\).*/\1/p')"
+kill -TERM "$pid"
+wait "$pid"
+[ -n "$hits" ] || { echo "/stats returned no cache hit counter" >&2; exit 1; }
+[ "$hits" -gt 0 ] || { echo "cache rerun recorded zero hits; the durable tier is dead" >&2; exit 1; }
+cmp "$work/ref/j000001/results.csv" "$work/chaos/j000002/results.csv"
+echo "cache-served rerun ($hits hits) byte-identical to the uninterrupted run"
