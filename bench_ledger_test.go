@@ -26,7 +26,7 @@ import (
 )
 
 // ledgerDirs are the packages scripts/bench.sh benchmarks.
-var ledgerDirs = []string{".", "internal/protocols", "internal/sim", "internal/simplex", "internal/sweep", "internal/service", "internal/cache"}
+var ledgerDirs = []string{".", "internal/protocols", "internal/sim", "internal/simplex", "internal/sweep", "internal/service", "internal/cache", "internal/gf2"}
 
 // nonLedgerBenchmarks are deliberately excluded from the performance ledger:
 // whole-experiment end-to-end runs and substrate micro-benchmarks that

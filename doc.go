@@ -282,17 +282,32 @@
 // regenerate with `go test ./internal/experiments/ -run TestGoldenFigures
 // -update`).
 //
-// The bit-true simulators are word-parallel and sharded: internal/gf2 packs
+// The bit-true simulators are word-parallel end to end: internal/gf2 packs
 // rows into flat []uint64 matrices redrawn in place per block
-// (Matrix.Rerandomize), decodes through a reusable word-level elimination
-// tableau (gf2.Solver.SolveInto and the SolveConsistentInto early-stop
-// variant for noiseless erasure observations), and the TDBC/MABC trial
-// loops run on a worker pool with per-worker RNGs, codes, and scratch —
-// zero allocations per block. Context cancellation costs one atomic flag
-// load per trial (internal/sim's runGate), so a cancelled run stops within
-// one trial without slowing an uncancelled one. Allocation regressions are
-// pinned by testing.AllocsPerRun tests next to the hot paths
-// (internal/protocols, internal/sim, internal/simplex, internal/gf2).
+// (Matrix.Rerandomize); link erasures are drawn 64 channel uses at a time by
+// prob.WordBernoulli masks (one ~8-draw fixed-point refinement per 64
+// positions instead of 64 Float64 calls; survivors visited by a
+// TrailingZeros64 scan — see internal/sim/erasure.go); and decoding runs
+// through a reusable word-level elimination tableau (gf2.Solver.SolveInto
+// and the SolveConsistentInto early-stop variant for noiseless erasure
+// observations), which past 512 unknowns switches to a dense M4RI-style
+// multi-column eliminator (internal/gf2/m4ri.go: 8 pivot columns per pass
+// via a 256-entry combination table). The TDBC/MABC trial loops run on a
+// worker pool with per-worker RNGs, codes, and scratch — zero allocations
+// per block. Context cancellation costs one atomic flag load per trial
+// (internal/sim's runGate), so a cancelled run stops within one trial
+// without slowing an uncancelled one. Allocation regressions are pinned by
+// testing.AllocsPerRun tests next to the hot paths (internal/protocols,
+// internal/sim, internal/simplex, internal/gf2).
+//
+// Canonical-stream migration note: the word-parallel masks replaced the
+// retired one-Float64-per-position erasure sampling, which changed the
+// bit-true simulators' canonical random stream. Results remain a pure
+// function of (Seed, Trials, Workers), but a seed recorded against the
+// scalar stream now produces a different — statistically equally valid —
+// sample path, so success counts from pre-mask releases are not directly
+// comparable at the per-seed level (the statistical contracts, waterfall
+// thresholds and sharded-vs-sequential agreement all carry over).
 //
 // Start perf work from a profile, not a guess:
 //
@@ -305,6 +320,10 @@
 //	# or profile the micro-benchmarks around the kernel you are changing
 //	go test ./internal/sim/ -run '^$' -bench BenchmarkOutageTrial \
 //	    -benchmem -cpuprofile /tmp/trial.prof
+//	go test ./internal/sim/ -run '^$' -bench 'BenchmarkErasureMask' \
+//	    -benchmem   # word-parallel masks vs the retired scalar sampler
+//	go test ./internal/gf2/ -run '^$' -bench 'BenchmarkSolve(Incremental|M4RI)' \
+//	    -benchtime 20x -benchmem   # elimination ladder at 256/1k/4k unknowns
 //	go test . -run '^$' -bench 'Benchmark(Engine|OneShot)SumRateBatch$' \
 //	    -benchmem   # engine batch vs 1k one-shot calls over the same grid
 //	go test ./internal/sim/ -run '^$' -bench 'BenchmarkBitTrue(TDBC|MABC)(Parallel)?$' \
@@ -343,7 +362,10 @@
 //     and bit-true per-block kernels) must not contain allocating
 //     constructs; the annotation turns the "zero allocations per block"
 //     claim into a compile-time-checkable contract alongside the
-//     AllocsPerRun tests.
+//     AllocsPerRun tests. The directive on a package clause (internal/gf2)
+//     widens the scope to every function in the package, with
+//     `//bicoop:allow noalloc` doc waivers as the audited opt-out for cold
+//     constructors and scratch growers.
 //   - ctxflow: exported Run*/Sweep*/Simulate* entry points take a
 //     context.Context first, and nothing outside package main mints its
 //     own context.Background/TODO — cancellation always threads from the

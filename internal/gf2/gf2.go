@@ -11,6 +11,13 @@
 // and the Dot function operate on whole 64-bit words. The original
 // allocate-per-call API (RandomMatrix, Matrix.Solve, DecodeEquations, ...)
 // remains as thin wrappers.
+//
+// The package directive below puts the whole package under the noalloc
+// analyzer: every function is held to the 0-allocs contract unless its doc
+// comment ends with an audited //bicoop:allow noalloc waiver (the cold
+// constructors and scratch growers).
+//
+//bicoop:noalloc
 package gf2
 
 import (
@@ -39,6 +46,8 @@ type Vector struct {
 }
 
 // NewVector returns an all-zero vector of n bits.
+//
+//bicoop:allow noalloc — cold constructor; hot paths reuse via the In-place API
 func NewVector(n int) Vector {
 	return Vector{n: n, words: make([]uint64, wordsFor(n))}
 }
@@ -179,6 +188,8 @@ func (v Vector) Weight() int {
 }
 
 // Clone returns a deep copy.
+//
+//bicoop:allow noalloc — cold copy; the kernels never clone
 func (v Vector) Clone() Vector {
 	out := Vector{n: v.n, words: make([]uint64, len(v.words))}
 	copy(out.words, v.words)
@@ -186,6 +197,8 @@ func (v Vector) Clone() Vector {
 }
 
 // String renders the vector as a bit string, LSB first.
+//
+//bicoop:allow noalloc — diagnostic rendering, never on the hot path
 func (v Vector) String() string {
 	buf := make([]byte, v.n)
 	for i := 0; i < v.n; i++ {
@@ -204,6 +217,8 @@ type Matrix struct {
 }
 
 // NewMatrix returns an all-zero rows-by-cols matrix.
+//
+//bicoop:allow noalloc — cold constructor; hot paths reuse via Rerandomize
 func NewMatrix(rows, cols int) Matrix {
 	s := wordsFor(cols)
 	return Matrix{rows: rows, cols: cols, stride: s, words: make([]uint64, rows*s)}
@@ -288,6 +303,8 @@ func (m *Matrix) AppendRow(v Vector) error {
 }
 
 // Clone returns a deep copy.
+//
+//bicoop:allow noalloc — cold copy; the kernels never clone
 func (m Matrix) Clone() Matrix {
 	out := Matrix{rows: m.rows, cols: m.cols, stride: m.stride, words: make([]uint64, len(m.words))}
 	copy(out.words, m.words)

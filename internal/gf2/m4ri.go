@@ -1,0 +1,268 @@
+package gf2
+
+import "math/bits"
+
+// Dense multi-column elimination — the "method of four Russians" (M4RI)
+// path of Solver. The incremental basis (solver.go) eliminates one pivot
+// column per row XOR; past ~10^3 unknowns most of the solve is spent
+// re-XORing long rows one pivot at a time. This path loads the equations
+// into a dense tableau and eliminates m4riStripe pivot columns per pass:
+// the stripe's pivot rows are reduced to a local reduced row echelon form,
+// all 2^found combinations of them are precomputed into a table, and every
+// other row then clears the whole stripe with ONE table lookup + row XOR
+// instead of up to m4riStripe pivot XORs.
+//
+// The result is the global reduced row echelon form, which two invariants
+// keep exact:
+//
+//   - after a stripe is processed, every non-pivot row has zero bits in all
+//     of the stripe's columns (pivot columns are cleared by the table XOR;
+//     free columns only appear when every remaining row was examined and
+//     reduced to a zero stripe);
+//   - table rows are combinations of pivot rows drawn from below the pivot
+//     block, which by the first invariant are zero on every earlier stripe
+//     — so later passes never re-contaminate earlier columns.
+//
+// The invariants also bound the work: when stripe c0 is processed, every row
+// XOR — pivot search, table build and table application alike — involves at
+// least one operand that is zero on all words before c0's word, so the inner
+// loops start there and the average row operation touches half the row.
+//
+// Hence at the end leftover rows are zero on every column and a surviving
+// RHS bit is exactly an inconsistency, and each pivot row is a unit vector
+// whose RHS bit is that unknown's value.
+
+const (
+	// m4riStripe is the number of pivot columns eliminated per table pass.
+	// The stripe always fits one word (8 divides 64), the table holds
+	// 2^8 = 256 rows, and the per-row index extraction is 8 shift-and-mask
+	// steps against a full-row XOR saved — past the cutover the table cost
+	// amortizes to well under one row XOR per row per stripe.
+	m4riStripe = 8
+	// m4riMinCols is the automatic cutover: systems with at least this
+	// many unknowns eliminate densely, shorter blocks keep the incremental
+	// basis (whose early-exit and truncated XORs win on small systems).
+	m4riMinCols = 512
+	// m4riSlack is the number of surplus equations loaded beyond the
+	// unknown count in consistent mode: random systems reach full rank
+	// within a handful of extra rows, so processing the full equation set
+	// (the incremental path's early-exit advantage) is not needed; the
+	// rare rank-deficient prefix falls back to the incremental path.
+	m4riSlack = 64
+)
+
+// reserveDense pre-grows the dense tableau and combination table so the
+// steady state allocates nothing (companion of Reserve).
+//
+//bicoop:allow noalloc — scratch grower: allocates here so solves never do
+func (s *Solver) reserveDense(rows, cols int) {
+	stride := wordsFor(cols) + 1
+	if need := rows * stride; cap(s.dense) < need {
+		s.dense = make([]uint64, 0, need)
+	}
+	if need := (1 << m4riStripe) * stride; cap(s.table) < need {
+		s.table = make([]uint64, 0, need)
+	}
+}
+
+// beginDense sizes the dense tableau for n equations over cols unknowns.
+//
+//bicoop:allow noalloc — scratch grower: allocates only on first use per shape
+func (s *Solver) beginDense(n, cols int) {
+	s.cols = cols
+	s.stride = wordsFor(cols) + 1
+	if need := n * s.stride; cap(s.dense) < need {
+		s.dense = make([]uint64, need)
+	} else {
+		s.dense = s.dense[:need]
+	}
+	if need := (1 << m4riStripe) * s.stride; cap(s.table) < need {
+		s.table = make([]uint64, need)
+	} else {
+		s.table = s.table[:need]
+	}
+	if cap(s.colRow) < cols {
+		s.colRow = make([]int32, cols)
+	} else {
+		s.colRow = s.colRow[:cols]
+	}
+	for i := range s.colRow {
+		s.colRow[i] = -1
+	}
+}
+
+// solveRowsDense is the multi-column SolveInto/SolveConsistentInto engine.
+// In consistent mode it loads only cols+m4riSlack equations — enough for
+// full rank on all but adversarial systems — and falls back to the
+// incremental path over the complete set when that prefix is rank
+// deficient, preserving bit-exact agreement with the reference solver.
+//
+//bicoop:noalloc
+func (s *Solver) solveRowsDense(dst *Vector, k int, rows []Vector, bits []int, consistent bool) error {
+	n := len(rows)
+	if consistent {
+		if lim := k + m4riSlack; n > lim {
+			n = lim
+		}
+	}
+	s.beginDense(n, k)
+	wpr := s.stride - 1
+	for i := 0; i < n; i++ {
+		t := s.dense[i*s.stride : (i+1)*s.stride]
+		copy(t[:wpr], rows[i].words)
+		for w := len(rows[i].words); w < wpr; w++ {
+			t[w] = 0
+		}
+		t[wpr] = uint64(bits[i] & 1)
+	}
+	rank, inconsistent := s.eliminateDense(n)
+	if consistent {
+		if rank < k && n < len(rows) {
+			// The loaded prefix fell short of full rank; the surplus
+			// equations may still complete it.
+			return s.solveRowsIncremental(dst, k, rows, bits, true)
+		}
+		inconsistent = false
+	}
+	return s.finishDense(dst, rank, inconsistent)
+}
+
+// finishDense mirrors finishSolve for the dense tableau: inconsistency
+// takes precedence over underdetermination, and a full-rank system reads
+// its solution straight off the reduced rows.
+//
+//bicoop:noalloc
+func (s *Solver) finishDense(dst *Vector, rank int, inconsistent bool) error {
+	if inconsistent {
+		return ErrInconsistent
+	}
+	if rank < s.cols {
+		return ErrUnderdetermined
+	}
+	wpr := s.stride - 1
+	for w := range dst.words {
+		dst.words[w] = 0
+	}
+	for c := 0; c < s.cols; c++ {
+		row := s.dense[int(s.colRow[c])*s.stride:]
+		dst.words[c>>6] |= (row[wpr] & 1) << uint(c&63)
+	}
+	return nil
+}
+
+// eliminateDense reduces the n-row dense tableau to reduced row echelon
+// form, m4riStripe pivot columns per pass, and reports the rank and whether
+// any dependent equation survived with a set RHS bit.
+//
+//bicoop:noalloc
+func (s *Solver) eliminateDense(n int) (rank int, inconsistent bool) {
+	stride := s.stride
+	var cols [m4riStripe]int // this stripe's pivot columns, discovery order
+	for c0 := 0; c0 < s.cols && rank < n; c0 += m4riStripe {
+		ge := m4riStripe
+		if s.cols-c0 < ge {
+			ge = s.cols - c0
+		}
+		w0, shift := c0>>6, uint(c0&63)
+		stripeMask := uint64(1)<<uint(ge) - 1
+
+		// Pivot search: Gaussian elimination restricted to the stripe.
+		// Each candidate is reduced against the stripe pivots found so
+		// far; its lowest surviving stripe bit becomes a new pivot column,
+		// the found pivots are back-reduced against it (local RREF), and
+		// the row is swapped up to the pivot block.
+		found := 0
+		for i := rank; i < n && found < ge; i++ {
+			// Candidate rows sit below every processed stripe, so they are
+			// zero before word w0 and every XOR here can start there.
+			row := s.dense[i*stride : (i+1)*stride]
+			for j := 0; j < found; j++ {
+				c := cols[j]
+				if row[w0]>>uint(c&63)&1 != 0 {
+					piv := s.dense[(rank+j)*stride : (rank+j+1)*stride]
+					for w := w0; w < stride; w++ {
+						row[w] ^= piv[w]
+					}
+				}
+			}
+			v := row[w0] >> shift & stripeMask
+			if v == 0 {
+				continue
+			}
+			c := c0 + bits.TrailingZeros64(v)
+			for j := 0; j < found; j++ {
+				piv := s.dense[(rank+j)*stride : (rank+j+1)*stride]
+				if piv[w0]>>uint(c&63)&1 != 0 {
+					for w := w0; w < stride; w++ {
+						piv[w] ^= row[w]
+					}
+				}
+			}
+			if top := rank + found; i != top {
+				other := s.dense[top*stride : (top+1)*stride]
+				for w := w0; w < stride; w++ {
+					row[w], other[w] = other[w], row[w]
+				}
+			}
+			cols[found] = c
+			found++
+		}
+		if found == 0 {
+			continue
+		}
+
+		// Combination table: entry b is the XOR of the pivot rows selected
+		// by b's bits, built in one row XOR each off a previous entry. Pivot
+		// rows are zero before word w0, so entries are built (and later
+		// applied) from w0 on; the words below keep stale bits from earlier
+		// stripes that nothing reads.
+		for w := w0; w < stride; w++ {
+			s.table[w] = 0
+		}
+		for b := 1; b < 1<<uint(found); b++ {
+			j := bits.TrailingZeros64(uint64(b))
+			prev := s.table[(b&^(1<<uint(j)))*stride:]
+			piv := s.dense[(rank+j)*stride:]
+			t := s.table[b*stride : (b+1)*stride]
+			for w := w0; w < stride; w++ {
+				t[w] = prev[w] ^ piv[w]
+			}
+		}
+
+		// One lookup + XOR clears the whole stripe in every other row —
+		// rows above too, which is what maintains the global RREF. All of
+		// the stripe's columns live in word w0 (m4riStripe divides 64), so
+		// the table index gathers bits from a single loaded word.
+		for i := 0; i < n; i++ {
+			if i >= rank && i < rank+found {
+				continue
+			}
+			row := s.dense[i*stride : (i+1)*stride]
+			v := row[w0]
+			idx := 0
+			for j := 0; j < found; j++ {
+				idx |= int(v>>uint(cols[j]&63)&1) << uint(j)
+			}
+			if idx == 0 {
+				continue
+			}
+			t := s.table[idx*stride:]
+			for w := w0; w < stride; w++ {
+				row[w] ^= t[w]
+			}
+		}
+
+		for j := 0; j < found; j++ {
+			s.colRow[cols[j]] = int32(rank + j)
+		}
+		rank += found
+	}
+
+	wpr := stride - 1
+	for i := rank; i < n; i++ {
+		if s.dense[i*stride+wpr]&1 != 0 {
+			return rank, true
+		}
+	}
+	return rank, false
+}

@@ -22,6 +22,10 @@ import (
 // to zero in the spare slot and are discarded (after their RHS bit is
 // checked for consistency).
 //
+// Wide systems (at least m4riMinCols unknowns) are eliminated by the dense
+// multi-column path in m4ri.go instead — same results, fewer row XORs; the
+// incremental basis remains the short-block and underdetermined path.
+//
 // The zero value is ready to use. A Solver is NOT safe for concurrent use;
 // give each goroutine its own (the simulator's worker pool does).
 type Solver struct {
@@ -29,12 +33,28 @@ type Solver struct {
 	colRow []int32  // pivot column -> tab row index, or -1
 	cols   int
 	stride int // words per tableau row, including the trailing RHS word
+
+	dense []uint64 // m4ri tableau: every equation, row-major
+	table []uint64 // m4ri combination table: 2^m4riStripe rows
+
+	// force pins the elimination path for tests and benchmarks:
+	// forceAuto (zero value) applies the size cutover.
+	force int
 }
+
+// Elimination-path overrides for Solver.force.
+const (
+	forceAuto = iota
+	forceIncremental
+	forceDense
+)
 
 // Reserve grows the scratch so a subsequent rows-by-cols solve performs no
 // allocation. Calling it for each system shape a worker will see makes the
 // steady state strictly allocation-free (the AllocsPerRun gates in
 // internal/sim rely on this).
+//
+//bicoop:allow noalloc — scratch grower: allocates here so solves never do
 func (s *Solver) Reserve(rows, cols int) {
 	basis := rows
 	if cols < basis {
@@ -46,10 +66,15 @@ func (s *Solver) Reserve(rows, cols int) {
 	if cap(s.colRow) < cols {
 		s.colRow = make([]int32, 0, cols)
 	}
+	if cols >= m4riMinCols && rows >= cols {
+		s.reserveDense(rows, cols)
+	}
 }
 
 // begin sizes the tableau for a system with nrows equations over cols
 // unknowns and clears the pivot index.
+//
+//bicoop:allow noalloc — scratch grower: allocates only on first use per shape
 func (s *Solver) begin(nrows, cols int) {
 	s.cols = cols
 	s.stride = wordsFor(cols) + 1
@@ -166,14 +191,17 @@ func (s *Solver) SolveInto(dst *Vector, k int, rows []Vector, bits []int) error 
 
 // SolveConsistentInto is SolveInto for systems known to be consistent —
 // e.g. decoding noiseless erasure observations, where every equation is a
-// true parity of the transmitted message. It stops eliminating as soon as
-// the rank reaches k, skipping the surplus equations entirely, and never
-// returns ErrInconsistent: fed an inconsistent system, it returns the
-// solution of the first full-rank subsystem instead.
+// true parity of the transmitted message. It eliminates only as many
+// equations as the rank needs, skipping the surplus entirely, and never
+// returns ErrInconsistent: fed an inconsistent system anyway, it returns
+// the unique solution of some full-rank subsystem instead of an error.
 func (s *Solver) SolveConsistentInto(dst *Vector, k int, rows []Vector, bits []int) error {
 	return s.solveRows(dst, k, rows, bits, true)
 }
 
+// solveRows validates the system and dispatches to the incremental basis or
+// the dense multi-column eliminator (m4ri.go) by the size cutover.
+//
 //bicoop:noalloc
 func (s *Solver) solveRows(dst *Vector, k int, rows []Vector, bits []int, consistent bool) error {
 	if len(rows) != len(bits) {
@@ -187,6 +215,27 @@ func (s *Solver) solveRows(dst *Vector, k int, rows []Vector, bits []int, consis
 			return fmt.Errorf("%w: row %d has %d bits, want %d", ErrShape, i, row.n, k)
 		}
 	}
+	if s.useDense(len(rows), k) {
+		return s.solveRowsDense(dst, k, rows, bits, consistent)
+	}
+	return s.solveRowsIncremental(dst, k, rows, bits, consistent)
+}
+
+// useDense applies the multi-column cutover: wide systems with at least as
+// many equations as unknowns (anything narrower is underdetermined, which
+// the incremental basis detects cheaply).
+func (s *Solver) useDense(nrows, cols int) bool {
+	switch s.force {
+	case forceIncremental:
+		return false
+	case forceDense:
+		return true
+	}
+	return cols >= m4riMinCols && nrows >= cols
+}
+
+//bicoop:noalloc
+func (s *Solver) solveRowsIncremental(dst *Vector, k int, rows []Vector, bits []int, consistent bool) error {
 	s.begin(len(rows), k)
 	rank := 0
 	inconsistent := false

@@ -366,8 +366,9 @@ func TestSolverZeroAllocSteadyState(t *testing.T) {
 
 // TestRerandomizeMatchesRandomMatrix pins the in-place redraw to the
 // allocating constructor: from identical RNG states both must produce
-// identical matrices (same draw order, one Uint64 per word), which is what
-// keeps single-worker bit-true runs reproducing historical streams.
+// identical matrices (same draw order, one Uint64 per word), which is part
+// of the bit-true simulators' canonical-stream contract (results a pure
+// function of Seed/Trials/Workers).
 func TestRerandomizeMatchesRandomMatrix(t *testing.T) {
 	for _, dims := range [][2]int{{7, 5}, {64, 64}, {100, 130}, {3, 200}, {0, 10}} {
 		r1 := rand.New(rand.NewSource(42))

@@ -15,6 +15,13 @@ func TestNoalloc(t *testing.T) {
 	linttest.Run(t, analyzers.Noalloc, "testdata/noalloc")
 }
 
+// TestNoallocPackageScope pins the package-wide mode: a //bicoop:noalloc
+// directive on the package clause checks every function in the package,
+// with //bicoop:allow noalloc doc waivers as the per-function opt-out.
+func TestNoallocPackageScope(t *testing.T) {
+	linttest.Run(t, analyzers.Noalloc, "testdata/noalloc_pkg")
+}
+
 func TestCtxflow(t *testing.T) {
 	linttest.Run(t, analyzers.Ctxflow, "testdata/ctxflow")
 }

@@ -29,8 +29,15 @@ import (
 // taken only on misuse, never in the steady state the runtime alloc gates
 // measure — and is exempt, arguments included.
 //
-// The analyzer is self-scoping: it inspects only annotated functions, so
-// it runs on every package.
+// The directive also scopes whole packages: //bicoop:noalloc in a package
+// clause's doc comment (any file) checks every function in the package.
+// Functions that legitimately allocate — cold constructors, Reserve-style
+// scratch growers — opt out with a //bicoop:allow noalloc waiver as the
+// last line of their doc comment, the same audited escape hatch used for
+// line-level waivers.
+//
+// The analyzer is self-scoping: it inspects only annotated functions (or
+// packages), so it runs on every package.
 var Noalloc = &lint.Analyzer{
 	Name: "noalloc",
 	Doc:  "functions annotated //bicoop:noalloc may not contain allocating constructs",
@@ -38,11 +45,26 @@ var Noalloc = &lint.Analyzer{
 }
 
 func runNoalloc(pass *lint.Pass) error {
+	pkgWide := false
+	for _, f := range pass.Files {
+		if lint.HasDirective(f.Doc, "noalloc") {
+			pkgWide = true
+			break
+		}
+	}
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !lint.HasDirective(fd.Doc, "noalloc") {
+			if !ok || fd.Body == nil {
 				continue
+			}
+			if !lint.HasDirective(fd.Doc, "noalloc") {
+				// In package-wide mode every function is in scope unless a
+				// //bicoop:allow noalloc waiver ends its doc comment (which
+				// covers the declaration's line).
+				if !pkgWide || pass.Allowed(fd.Pos()) {
+					continue
+				}
 			}
 			checkNoalloc(pass, fd)
 		}

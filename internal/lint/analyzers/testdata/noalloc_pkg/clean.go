@@ -1,0 +1,25 @@
+package fixture
+
+// Hot is a kernel with no directive of its own: package scope covers it,
+// and its reuse idioms stay clean.
+func Hot(dst, src []int) []int {
+	dst = dst[:0]
+	dst = append(dst, src...)
+	return dst
+}
+
+// NewBuffer is a cold constructor: it legitimately allocates, so it opts
+// out of the package-wide scope with the audited waiver below.
+//
+//bicoop:allow noalloc — cold constructor, called once per worker
+func NewBuffer(n int) []int {
+	return make([]int, n)
+}
+
+// Annotated carries its own directive too (redundant under package scope
+// but harmless) and must stay clean.
+//
+//bicoop:noalloc
+func Annotated(x int) int {
+	return x * 2
+}

@@ -1,0 +1,19 @@
+// Package fixture exercises the package-wide noalloc scope: the directive
+// on the package clause puts every function in the package — annotated or
+// not, in any file — under the allocation check.
+//
+//bicoop:noalloc
+package fixture
+
+// UnannotatedMake has no function-level directive, but the package-wide
+// scope still flags it.
+func UnannotatedMake(n int) int {
+	buf := make([]byte, n) // want "make allocates"
+	return len(buf)
+}
+
+// UnannotatedAppend grows a slice it does not own.
+func UnannotatedAppend(dst, src []int) []int {
+	out := append(dst, src...) // want "append outside"
+	return out
+}

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"runtime"
 	"sync"
 
 	"bicoop/internal/gf2"
 	"bicoop/internal/netcode"
+	"bicoop/internal/prob"
 	"bicoop/internal/protocols"
 )
 
@@ -76,10 +78,13 @@ type BitTrueConfig struct {
 	// Workers bounds the worker pool sharding the trials; non-positive
 	// means GOMAXPROCS. Each worker owns an RNG derived from Seed (worker
 	// w uses Seed + w*workerSeedStride), its own codes, and its own
-	// elimination scratch. Workers == 1 reproduces the historical
-	// sequential engine's stream bit for bit; with more workers the
-	// per-trial random stream differs (only the trial sharding changes,
-	// exactly as the fading Monte Carlo documents for its workers).
+	// elimination scratch, so results are a pure function of (Seed,
+	// Trials, Workers); changing Workers reshards the trials and changes
+	// the per-trial stream, exactly as the fading Monte Carlo documents
+	// for its workers. The canonical stream draws erasures 64 positions
+	// at a time (see erasure.go); seeds from releases with the scalar
+	// per-position stream produce different — equally valid — sample
+	// paths.
 	Workers int
 	// Progress, when non-nil, is invoked with the cumulative completed trial
 	// count at stride granularity (see runGate). Invocations are serialized
@@ -236,6 +241,9 @@ type tdbcWorker struct {
 	p   tdbcParams
 	rng *rand.Rand
 
+	// maskAR, maskBR, maskAB draw 64 link erasures per call (see erasure.go).
+	maskAR, maskBR, maskAB prob.WordBernoulli
+
 	codeA, codeB, codeR gf2.Code
 	wa, wb, wr          gf2.Vector
 	xa, xb, xr          gf2.Vector
@@ -266,6 +274,10 @@ func newTDBCWorker(net ErasureNetwork, p tdbcParams, seed int64) *tdbcWorker {
 		net: net,
 		p:   p,
 		rng: rand.New(rand.NewSource(seed)),
+
+		maskAR: prob.NewWordBernoulli(net.EpsAR),
+		maskBR: prob.NewWordBernoulli(net.EpsBR),
+		maskAB: prob.NewWordBernoulli(net.EpsAB),
 
 		codeA: gf2.Code{G: gf2.NewMatrix(p.n1, p.ka)},
 		codeB: gf2.Code{G: gf2.NewMatrix(p.n2, p.kb)},
@@ -330,42 +342,53 @@ func (w *tdbcWorker) runTrial() {
 	}
 }
 
-// runBlock simulates one block. Returns (success, relayDecoded). The RNG
-// draw order is exactly the historical sequential engine's, so a
-// single-worker run reproduces its results bit for bit.
+// runBlock simulates one block. Returns (success, relayDecoded). Erasures
+// are drawn 64 positions per mask in the canonical batch/link order
+// documented in erasure.go, so results are bit-reproducible for a fixed
+// (Seed, Trials, Workers).
 //
 //bicoop:noalloc
 func (w *tdbcWorker) runBlock() (bool, bool) {
 	w.reset()
-	net, p := w.net, w.p
+	p := w.p
 	w.wa.Randomize(w.rng)
 	w.wb.Randomize(w.rng)
 
 	// Phase 1: a broadcasts n1 random parities of wa; r and b erase
-	// independently.
+	// independently (mask order per batch: a-r, then a-b).
 	w.codeA.Rerandomize(w.rng)
 	_ = w.codeA.EncodeInto(&w.xa, w.wa)
-	for i := 0; i < p.n1; i++ {
-		if w.rng.Float64() >= net.EpsAR {
+	for base := 0; base < p.n1; base += 64 {
+		live := liveLanes(base, p.n1)
+		survAR := ^w.maskAR.Mask(w.rng) & live
+		survAB := ^w.maskAB.Mask(w.rng) & live
+		for m := survAR; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
 			w.relayRowsA = append(w.relayRowsA, w.codeA.G.RowView(i))
 			w.relayBitsA = append(w.relayBitsA, w.xa.Bit(i))
 		}
-		if w.rng.Float64() >= net.EpsAB {
+		for m := survAB; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
 			w.rowsForB = append(w.rowsForB, w.codeA.G.RowView(i))
 			w.bitsForB = append(w.bitsForB, w.xa.Bit(i))
 		}
 	}
 
 	// Phase 2: b broadcasts n2 random parities of wb; r and a erase
-	// independently.
+	// independently (mask order per batch: b-r, then a-b).
 	w.codeB.Rerandomize(w.rng)
 	_ = w.codeB.EncodeInto(&w.xb, w.wb)
-	for i := 0; i < p.n2; i++ {
-		if w.rng.Float64() >= net.EpsBR {
+	for base := 0; base < p.n2; base += 64 {
+		live := liveLanes(base, p.n2)
+		survBR := ^w.maskBR.Mask(w.rng) & live
+		survAB := ^w.maskAB.Mask(w.rng) & live
+		for m := survBR; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
 			w.relayRowsB = append(w.relayRowsB, w.codeB.G.RowView(i))
 			w.relayBitsB = append(w.relayBitsB, w.xb.Bit(i))
 		}
-		if w.rng.Float64() >= net.EpsAB {
+		for m := survAB; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
 			w.rowsForA = append(w.rowsForA, w.codeB.G.RowView(i))
 			w.bitsForA = append(w.bitsForA, w.xb.Bit(i))
 		}
@@ -389,22 +412,26 @@ func (w *tdbcWorker) runBlock() (bool, bool) {
 	// g·pad(wb) = bit ⊕ g·pad(wa) at node a (which knows wa), and
 	// symmetrically at node b. Since pad(w) is zero above the message
 	// length, the effective row is g truncated to the peer's length.
+	// Mask order per batch: a-r, then b-r.
 	w.padWa.CopyPrefix(w.wa) // wa zero-padded to kr
 	w.padWb.CopyPrefix(w.wb)
-	for i := 0; i < p.n3; i++ {
-		row := w.codeR.G.RowView(i)
-		bit := w.xr.Bit(i)
-		// a hears the relay through the a-r link.
-		if w.rng.Float64() >= net.EpsAR {
+	for base := 0; base < p.n3; base += 64 {
+		live := liveLanes(base, p.n3)
+		survA := ^w.maskAR.Mask(w.rng) & live // a hears the relay via a-r
+		survB := ^w.maskBR.Mask(w.rng) & live // b hears the relay via b-r
+		for m := survA; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
+			row := w.codeR.G.RowView(i)
 			w.truncA[i].CopyPrefix(row)
 			w.rowsForA = append(w.rowsForA, w.truncA[i])
-			w.bitsForA = append(w.bitsForA, bit^gf2.Dot(row, w.padWa))
+			w.bitsForA = append(w.bitsForA, w.xr.Bit(i)^gf2.Dot(row, w.padWa))
 		}
-		// b hears the relay through the b-r link.
-		if w.rng.Float64() >= net.EpsBR {
+		for m := survB; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
+			row := w.codeR.G.RowView(i)
 			w.truncB[i].CopyPrefix(row)
 			w.rowsForB = append(w.rowsForB, w.truncB[i])
-			w.bitsForB = append(w.bitsForB, bit^gf2.Dot(row, w.padWb))
+			w.bitsForB = append(w.bitsForB, w.xr.Bit(i)^gf2.Dot(row, w.padWb))
 		}
 	}
 

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"runtime"
 	"sync"
 
 	"bicoop/internal/gf2"
+	"bicoop/internal/prob"
 	"bicoop/internal/stats"
 )
 
@@ -40,10 +42,11 @@ type MABCBitTrueConfig struct {
 	Seed int64
 	// Workers bounds the worker pool sharding the trials; non-positive
 	// means GOMAXPROCS. Worker seeding follows the same scheme as the
-	// other simulators (Seed + w*workerSeedStride): Workers == 1
-	// reproduces the historical sequential stream bit for bit, more
-	// workers change the per-trial stream but keep the merged counts
-	// deterministic.
+	// other simulators (Seed + w*workerSeedStride): results are a pure
+	// function of (Seed, Trials, Workers), and changing Workers only
+	// reshards the trials. Erasures follow the word-parallel canonical
+	// stream (see erasure.go); seeds from the retired scalar stream
+	// produce different — equally valid — sample paths.
 	Workers int
 	// Confidence for the reported success interval (default 0.95).
 	Confidence float64
@@ -183,9 +186,12 @@ func RunBitTrueMABC(ctx context.Context, cfg MABCBitTrueConfig) (MABCBitTrueResu
 // read-only here, consumed in place by the solver. Steady-state blocks
 // perform no heap allocation (gated by TestBitTrueMABCBlockZeroAllocs).
 type mabcWorker struct {
-	epsMAC, epsRA, epsRB float64
-	k, n1, n2            int
-	rng                  *rand.Rand
+	k, n1, n2 int
+	rng       *rand.Rand
+
+	// maskMAC, maskRA, maskRB draw 64 link erasures per call (see
+	// erasure.go).
+	maskMAC, maskRA, maskRB prob.WordBernoulli
 
 	codeMAC, codeBC  gf2.Code
 	wa, wb, s        gf2.Vector
@@ -206,9 +212,11 @@ func newMABCWorker(cfg MABCBitTrueConfig, k, n1, n2 int, seed int64) *mabcWorker
 		maxN = n2
 	}
 	w := &mabcWorker{
-		epsMAC: cfg.EpsMAC, epsRA: cfg.EpsRA, epsRB: cfg.EpsRB,
 		k: k, n1: n1, n2: n2,
 		rng:     rand.New(rand.NewSource(seed)),
+		maskMAC: prob.NewWordBernoulli(cfg.EpsMAC),
+		maskRA:  prob.NewWordBernoulli(cfg.EpsRA),
+		maskRB:  prob.NewWordBernoulli(cfg.EpsRB),
 		codeMAC: gf2.Code{G: gf2.NewMatrix(n1, k)},
 		codeBC:  gf2.Code{G: gf2.NewMatrix(n2, k)},
 		wa:      gf2.NewVector(k),
@@ -241,8 +249,10 @@ func (w *mabcWorker) runTrial() {
 	}
 }
 
-// runBlock simulates one block. Returns (success, relayDecoded). The RNG
-// draw order matches the historical sequential engine exactly.
+// runBlock simulates one block. Returns (success, relayDecoded). Erasures
+// are drawn 64 positions per mask in the canonical batch order documented
+// in erasure.go, so results are bit-reproducible for a fixed (Seed, Trials,
+// Workers).
 //
 //bicoop:noalloc
 func (w *mabcWorker) runBlock() (bool, bool) {
@@ -257,8 +267,10 @@ func (w *mabcWorker) runBlock() (bool, bool) {
 	w.codeMAC.Rerandomize(w.rng)
 	_ = w.codeMAC.EncodeInto(&w.xs, w.s) // equals Encode(wa) xor Encode(wb) by linearity
 	w.rows, w.bits = w.rows[:0], w.bits[:0]
-	for i := 0; i < w.n1; i++ {
-		if w.rng.Float64() >= w.epsMAC {
+	for base := 0; base < w.n1; base += 64 {
+		surv := ^w.maskMAC.Mask(w.rng) & liveLanes(base, w.n1)
+		for m := surv; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
 			w.rows = append(w.rows, w.codeMAC.G.RowView(i))
 			w.bits = append(w.bits, w.xs.Bit(i))
 		}
@@ -272,8 +284,8 @@ func (w *mabcWorker) runBlock() (bool, bool) {
 	// its own message.
 	w.codeBC.Rerandomize(w.rng)
 	_ = w.codeBC.EncodeInto(&w.xr, w.sHat)
-	okA := w.decodeBroadcast(&w.sAtA, w.epsRA)
-	okB := w.decodeBroadcast(&w.sAtB, w.epsRB)
+	okA := w.decodeBroadcast(&w.sAtA, w.maskRA)
+	okB := w.decodeBroadcast(&w.sAtB, w.maskRB)
 	if !okA || !okB {
 		return false, true
 	}
@@ -282,14 +294,16 @@ func (w *mabcWorker) runBlock() (bool, bool) {
 	return w.sAtA.Equal(w.wb) && w.sAtB.Equal(w.wa), true
 }
 
-// decodeBroadcast receives the relay broadcast through a link with erasure
-// probability eps and decodes it into dst.
+// decodeBroadcast receives the relay broadcast through a link whose erasures
+// are drawn by mask and decodes it into dst.
 //
 //bicoop:noalloc
-func (w *mabcWorker) decodeBroadcast(dst *gf2.Vector, eps float64) bool {
+func (w *mabcWorker) decodeBroadcast(dst *gf2.Vector, mask prob.WordBernoulli) bool {
 	w.rows, w.bits = w.rows[:0], w.bits[:0]
-	for i := 0; i < w.n2; i++ {
-		if w.rng.Float64() >= eps {
+	for base := 0; base < w.n2; base += 64 {
+		surv := ^mask.Mask(w.rng) & liveLanes(base, w.n2)
+		for m := surv; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
 			w.rows = append(w.rows, w.codeBC.G.RowView(i))
 			w.bits = append(w.bits, w.xr.Bit(i))
 		}

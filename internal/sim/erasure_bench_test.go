@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"bicoop/internal/prob"
+)
+
+// The erasure-sampling pair measures exactly what the word-parallel kernel
+// replaced: drawing the survivor set of one benchErasureN-position phase at
+// the TDBC benchmark operating point's a-r erasure rate. Scalar is the
+// retired one-Float64-per-position engine; Word is the canonical
+// WordBernoulli mask stream. The CI bench gate asserts Word ≥3x Scalar via
+// benchjson compare -min-speedup, hardware-independently.
+
+const (
+	benchErasureN   = 4096
+	benchErasureEps = 0.2
+)
+
+func BenchmarkErasureMaskScalar(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		survivors := 0
+		for j := 0; j < benchErasureN; j++ {
+			if rng.Float64() >= benchErasureEps {
+				survivors++
+			}
+		}
+		sink += survivors
+	}
+	_ = sink
+}
+
+func BenchmarkErasureMaskWord(b *testing.B) {
+	mask := prob.NewWordBernoulli(benchErasureEps)
+	rng := rand.New(rand.NewSource(1))
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		survivors := 0
+		for base := 0; base < benchErasureN; base += 64 {
+			survivors += bits.OnesCount64(^mask.Mask(rng) & liveLanes(base, benchErasureN))
+		}
+		sink += survivors
+	}
+	_ = sink
+}

@@ -19,7 +19,11 @@
 # set (BenchmarkSumRateBatchCachedHit vs ...Miss plus BenchmarkSweepCached
 # and the store-level BenchmarkCacheHit — CI requires the hit/miss speedup
 # via benchjson compare -min-speedup, and BenchmarkCacheHit's 0 allocs/op
-# is gated like the other zero-alloc kernels).
+# is gated like the other zero-alloc kernels), and the word-parallel kernel
+# pairs (BenchmarkErasureMaskWord vs ...Scalar — CI requires the masked
+# erasure sampling ≥3x over the retired per-position path — and the
+# BenchmarkSolve{M4RI,Incremental}{256,1k,4k} elimination ladder, with the
+# 4k M4RI-vs-incremental speedup gated in CI).
 # The bit-true full-run benchmarks already iterate 64 blocks
 # internally, so they get a smaller default -benchtime than the
 # microbenchmarks.
@@ -34,8 +38,8 @@ cd "$(dirname "$0")/.."
 # every alternative must match an existing benchmark, and every benchmark in the
 # ledger packages must either appear here or be explicitly exempted there — a new
 # benchmark cannot be dropped from the ledger silently.
-pattern='BenchmarkSimplexSolve$|BenchmarkEvaluatorSolve|BenchmarkEvaluatorFeasible$|BenchmarkOutageTrial$|BenchmarkSumRateLP$|BenchmarkFeasibility$|BenchmarkOutageBlock$|BenchmarkFig3$|BenchmarkSNRCrossover$|BenchmarkFadingOutage$|BenchmarkBitTrueTDBCBlock$|BenchmarkBitTrueMABCBlock$|BenchmarkEngineSumRateBatch$|BenchmarkEngineSweep$|BenchmarkOneShotSumRateBatch$|BenchmarkRegionParallel$|BenchmarkCampaign$|BenchmarkRunCore$|BenchmarkRunCoreResilient$|BenchmarkServiceJobOverhead$|BenchmarkServiceJobDirect$|BenchmarkSumRateBatchCachedHit$|BenchmarkSumRateBatchCachedMiss$|BenchmarkSweepCached$|BenchmarkCacheHit$'
-bitpattern='BenchmarkBitTrueTDBC$|BenchmarkBitTrueTDBCParallel$|BenchmarkBitTrueMABC$|BenchmarkBitTrueMABCParallel$'
+pattern='BenchmarkSimplexSolve$|BenchmarkEvaluatorSolve|BenchmarkEvaluatorFeasible$|BenchmarkOutageTrial$|BenchmarkSumRateLP$|BenchmarkFeasibility$|BenchmarkOutageBlock$|BenchmarkFig3$|BenchmarkSNRCrossover$|BenchmarkFadingOutage$|BenchmarkBitTrueTDBCBlock$|BenchmarkBitTrueMABCBlock$|BenchmarkErasureMaskScalar$|BenchmarkErasureMaskWord$|BenchmarkEngineSumRateBatch$|BenchmarkEngineSweep$|BenchmarkOneShotSumRateBatch$|BenchmarkRegionParallel$|BenchmarkCampaign$|BenchmarkRunCore$|BenchmarkRunCoreResilient$|BenchmarkServiceJobOverhead$|BenchmarkServiceJobDirect$|BenchmarkSumRateBatchCachedHit$|BenchmarkSumRateBatchCachedMiss$|BenchmarkSweepCached$|BenchmarkCacheHit$'
+bitpattern='BenchmarkBitTrueTDBC$|BenchmarkBitTrueTDBCParallel$|BenchmarkBitTrueMABC$|BenchmarkBitTrueMABCParallel$|BenchmarkSolveIncremental256$|BenchmarkSolveM4RI256$|BenchmarkSolveIncremental1k$|BenchmarkSolveM4RI1k$|BenchmarkSolveIncremental4k$|BenchmarkSolveM4RI4k$'
 
 # The bench runs land in a temp file first, NOT straight into the benchjson
 # pipeline: this is POSIX sh (no pipefail), so a failing `go test -bench`
@@ -49,7 +53,7 @@ go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" \
     . ./internal/protocols/ ./internal/sim/ ./internal/simplex/ ./internal/sweep/ \
     ./internal/service/ ./internal/cache/ > "$raw"
 go test -run '^$' -bench "$bitpattern" -benchmem -benchtime "$bittime" \
-    ./internal/sim/ >> "$raw"
+    ./internal/sim/ ./internal/gf2/ >> "$raw"
 
 tee /dev/stderr < "$raw" | go run ./cmd/benchjson > "$out"
 echo "wrote $out" >&2
